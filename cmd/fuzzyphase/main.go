@@ -1,0 +1,311 @@
+// Command fuzzyphase reproduces the analyses of "The Fuzzy Correlation
+// between Code and Performance Predictability" (MICRO 2004).
+//
+// Usage:
+//
+//	fuzzyphase list
+//	fuzzyphase run <workload> [flags]
+//	fuzzyphase figure <2-13> [flags]
+//	fuzzyphase table <1|2> [flags]
+//	fuzzyphase compare-kmeans <workload>... [flags]
+//	fuzzyphase sampling [budget] [flags]
+//	fuzzyphase sweep-interval | sweep-machine [flags]
+//
+// Flags (after the subcommand's positional arguments):
+//
+//	-seed N        random seed (default 1)
+//	-intervals N   EIPV intervals to simulate (default 320)
+//	-machine NAME  itanium2 | pentium4 | xeon (default itanium2)
+//	-threads       build thread-separated EIPVs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	fuzzyphase "repro"
+	"repro/internal/cpu"
+	"repro/internal/eipv"
+	"repro/internal/experiment"
+	"repro/internal/profiler"
+	"repro/internal/rtree"
+	"repro/internal/workload"
+)
+
+// intervalsOrDefault resolves the -intervals flag for commands that talk
+// to the profiler directly.
+func intervalsOrDefault(n int) int {
+	if n > 0 {
+		return n
+	}
+	return experiment.DefaultIntervals
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: fuzzyphase <command> [args] [flags]
+
+commands:
+  list                         list all runnable workloads
+  run <workload>               analyze one workload end-to-end
+  explain <workload>           show which code regions predict CPI
+  figure <2-13>                regenerate a paper figure
+  table <1|2>                  regenerate a paper table
+  compare-kmeans <workload>..  regression tree vs k-means (paper 4.6)
+  compare-bbv <workload>..     sampled EIPVs vs full BBVs (paper 3.3, deferred)
+  save-profile <workload> <f>  collect a profile and archive it as JSON
+  analyze-profile <f>          re-analyze an archived profile offline
+  sampling [budget]            evaluate sampling techniques (paper 7)
+  sweep-interval               EIPV interval-size sensitivity (paper 7.1)
+  sweep-machine                machine-model sensitivity (paper 7.1)
+
+flags (after positional args): -seed -intervals -machine -threads`)
+	os.Exit(2)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	args := os.Args[2:]
+
+	// Split positional arguments from flags.
+	var pos []string
+	for len(args) > 0 && args[0] != "" && args[0][0] != '-' {
+		pos = append(pos, args[0])
+		args = args[1:]
+	}
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	seed := fs.Uint64("seed", 1, "random seed")
+	intervals := fs.Int("intervals", 0, "EIPV intervals to simulate (0 = default)")
+	machine := fs.String("machine", "itanium2", "machine model: itanium2|pentium4|xeon")
+	threads := fs.Bool("threads", false, "thread-separated EIPVs")
+	csv := fs.Bool("csv", false, "emit raw CSV instead of a text summary (figures 2,3,8,9,10,11)")
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+
+	mcfg, err := cpu.ConfigByName(*machine)
+	if err != nil {
+		fatal(err)
+	}
+	opt := fuzzyphase.Options{
+		Seed:            *seed,
+		Intervals:       *intervals,
+		Machine:         mcfg,
+		ThreadSeparated: *threads,
+	}
+
+	switch cmd {
+	case "list":
+		for _, name := range fuzzyphase.Workloads() {
+			fmt.Println(name)
+		}
+
+	case "run":
+		if len(pos) != 1 {
+			usage()
+		}
+		res, err := fuzzyphase.Analyze(pos[0], opt)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(fuzzyphase.Summary(res))
+
+	case "figure":
+		id := atoi(pos)
+		if *csv {
+			if err := figureCSV(id, opt); err != nil {
+				fatal(err)
+			}
+			return
+		}
+		if err := fuzzyphase.Figure(id, opt, os.Stdout); err != nil {
+			fatal(err)
+		}
+
+	case "table":
+		id := atoi(pos)
+		err := fuzzyphase.Table(id, opt, os.Stdout, func(name string) {
+			fmt.Fprintf(os.Stderr, "analyzed %s\n", name)
+		})
+		if err != nil {
+			fatal(err)
+		}
+
+	case "explain":
+		if len(pos) != 1 {
+			usage()
+		}
+		res, err := fuzzyphase.Analyze(pos[0], opt)
+		if err != nil {
+			fatal(err)
+		}
+		ex := experiment.Explain(res)
+		experiment.RenderExplanation(os.Stdout, res, ex)
+
+	case "compare-kmeans":
+		names := pos
+		if len(names) == 0 {
+			names = []string{"sjas", "odb-h.q2", "odb-h.q13", "odb-h.q18", "spec.gcc", "spec.mcf"}
+		}
+		rows, err := experiment.Section46(names, opt)
+		if err != nil {
+			fatal(err)
+		}
+		experiment.RenderTreeVsKMeans(os.Stdout, rows)
+
+	case "save-profile":
+		if len(pos) != 2 {
+			usage()
+		}
+		col, err := profiler.CollectByName(pos[0], profiler.CollectOptions{
+			Machine:   mcfg,
+			Seed:      *seed,
+			Intervals: intervalsOrDefault(*intervals),
+		})
+		if err != nil {
+			fatal(err)
+		}
+		f, err := os.Create(pos[1])
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := col.Profile.WriteTo(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d samples of %s to %s\n", len(col.Profile.Samples), pos[0], pos[1])
+
+	case "analyze-profile":
+		if len(pos) != 1 {
+			usage()
+		}
+		f, err := os.Open(pos[0])
+		if err != nil {
+			fatal(err)
+		}
+		prof, err := profiler.ReadProfile(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		set := eipv.Build(prof, workload.IntervalInsts).SkipWarmup(10)
+		data := experiment.Dataset(set)
+		cv, err := rtree.CrossValidate(data, rtree.DefaultOptions(), 10, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		q := fuzzyphase.Classify(set.CPIVariance(), cv.REOpt)
+		fmt.Printf("%s (offline): %d EIPVs, CPI variance %.4f, RE_kopt %.3f at k=%d -> %s\n",
+			prof.Workload, len(set.Vectors), set.CPIVariance(), cv.REOpt, cv.KOpt, q)
+
+	case "compare-bbv":
+		names := pos
+		if len(names) == 0 {
+			names = []string{"odb-h.q13", "odb-h.q18", "spec.mcf"}
+		}
+		rows, err := experiment.CompareBBV(names, opt)
+		if err != nil {
+			fatal(err)
+		}
+		experiment.RenderBBVComparison(os.Stdout, rows)
+
+	case "sampling":
+		budget := 10
+		if len(pos) == 1 {
+			budget = atoi(pos)
+		}
+		names := []string{"odb-c", "odb-h.q4", "odb-h.q13", "odb-h.q18", "spec.mcf", "spec.gzip"}
+		rows, err := experiment.Section7Sampling(names, budget, opt)
+		if err != nil {
+			fatal(err)
+		}
+		experiment.RenderSampling(os.Stdout, rows)
+
+	case "sweep-interval":
+		rows, err := experiment.Section71Intervals([]string{"odb-h.q13", "odb-h.q18", "spec.mcf"}, opt)
+		if err != nil {
+			fatal(err)
+		}
+		experiment.RenderSweep(os.Stdout, "EIPV interval-size sweep (paper 7.1)", rows)
+
+	case "sweep-machine":
+		rows, err := experiment.Section71Machines([]string{"odb-c", "odb-h.q13", "spec.mcf"}, opt)
+		if err != nil {
+			fatal(err)
+		}
+		experiment.RenderSweep(os.Stdout, "machine-model sweep (paper 7.1)", rows)
+
+	default:
+		usage()
+	}
+}
+
+// figureCSV writes a figure's raw data (curves or spread points) as CSV,
+// ready for external plotting.
+func figureCSV(id int, opt fuzzyphase.Options) error {
+	switch id {
+	case 2:
+		curves, err := experiment.Figure2(opt)
+		if err != nil {
+			return err
+		}
+		experiment.RenderCurvesCSV(os.Stdout, curves)
+	case 8:
+		c, err := experiment.Figure8(opt)
+		if err != nil {
+			return err
+		}
+		experiment.RenderCurvesCSV(os.Stdout, []experiment.Curve{c})
+	case 10:
+		c, err := experiment.Figure10(opt)
+		if err != nil {
+			return err
+		}
+		experiment.RenderCurvesCSV(os.Stdout, []experiment.Curve{c})
+	case 3:
+		spreads, err := experiment.Figure3(opt)
+		if err != nil {
+			return err
+		}
+		for _, s := range spreads {
+			experiment.RenderSpreadCSV(os.Stdout, s)
+		}
+	case 9:
+		s, err := experiment.Figure9(opt)
+		if err != nil {
+			return err
+		}
+		experiment.RenderSpreadCSV(os.Stdout, s)
+	case 11:
+		s, err := experiment.Figure11(opt)
+		if err != nil {
+			return err
+		}
+		experiment.RenderSpreadCSV(os.Stdout, s)
+	default:
+		return fmt.Errorf("no CSV form for figure %d (available: 2, 3, 8, 9, 10, 11)", id)
+	}
+	return nil
+}
+
+func atoi(pos []string) int {
+	if len(pos) != 1 {
+		usage()
+	}
+	n, err := strconv.Atoi(pos[0])
+	if err != nil {
+		fatal(fmt.Errorf("expected a number, got %q", pos[0]))
+	}
+	return n
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fuzzyphase:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,53 @@
+// phase-explainer goes one step past the paper: the regression tree is
+// not just an error bound, it is an interpretable model. This example
+// trains the tree on a DSS query, then asks *which code* the tree uses to
+// predict CPI — symbolizing the split EIPs back to database operators —
+// and runs the paper's deferred §3.3 comparison of sampled EIP vectors
+// against full basic-block vectors on the same run.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	fuzzyphase "repro"
+	"repro/internal/experiment"
+)
+
+func main() {
+	opt := fuzzyphase.Options{Seed: 1, Intervals: 160}
+
+	res, err := fuzzyphase.Analyze("odb-h.q13", opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("=== which code predicts Q13's CPI? ===")
+	ex := experiment.Explain(res)
+	for _, ri := range ex.Regions {
+		fmt.Printf("  %-16s %5.1f%% of the tree's variance reduction (%d splits)\n",
+			ri.Region, ri.Share*100, ri.Splits)
+	}
+	fmt.Println()
+	fmt.Println("The root question the tree asks about every interval:")
+	top := ex.Tree.Splits()[0]
+	fmt.Printf("  was %s sampled at most %d times?  (gain %.0f)\n",
+		res.LabelEIP(top.EIP), top.N, top.Gain)
+	fmt.Println()
+	fmt.Println("In paper terms: the sort operator's code is the phase marker —")
+	fmt.Println("intervals inside the sort run at a completely different CPI, and one")
+	fmt.Println("EIP-count question separates them.")
+	fmt.Println()
+
+	fmt.Println("=== the paper's deferred 3.3 comparison on this run ===")
+	rows, err := experiment.CompareBBV([]string{"odb-h.q13", "odb-h.q18"}, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	experiment.RenderBBVComparison(os.Stdout, rows)
+	fmt.Println()
+	fmt.Println("Full basic-block profiling barely beats 1-per-1M sampling on Q13 —")
+	fmt.Println("and recovers only part of Q18's fuzziness: the unpredictability is in")
+	fmt.Println("the workload, not in the measurement.")
+}

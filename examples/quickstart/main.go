@@ -1,0 +1,36 @@
+// Quickstart: run one workload through the full pipeline of the paper —
+// simulate, profile, build EIP vectors, cross-validate a regression tree,
+// and classify the workload in the (CPI variance, predictability) plane.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	fuzzyphase "repro"
+)
+
+func main() {
+	// The DSS query the paper uses as its strong-phase exemplar (§6.1).
+	res, err := fuzzyphase.Analyze("odb-h.q13", fuzzyphase.Options{
+		Seed:      1,
+		Intervals: 160, // shorter than the experiments' default, for speed
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Print(fuzzyphase.Summary(res))
+	fmt.Println()
+
+	// The relative-error curve is the paper's key artifact: RE_k is the
+	// cross-validated error of a k-chamber regression tree predicting CPI
+	// from EIP vectors; 1-RE is the explained CPI variance.
+	fmt.Println("k   RE_k")
+	for _, k := range []int{1, 2, 3, 5, 9, 15, 25, 50} {
+		fmt.Printf("%-3d %.3f\n", k, res.CV.RE[k-1])
+	}
+
+	fmt.Printf("\nverdict: %s -> best sampled-simulation strategy: %s\n",
+		res.Quadrant, fuzzyphase.Recommend(res.Quadrant))
+}

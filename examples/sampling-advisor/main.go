@@ -1,0 +1,50 @@
+// sampling-advisor demonstrates the paper's practical payoff (§7): no
+// single sampled-simulation technique suits every workload, but the
+// quadrant classification tells you which one to use. For a handful of
+// workloads spanning all four quadrants, it measures the actual
+// CPI-estimation error of uniform, random, phase-based and stratified
+// sampling under the same interval budget.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	fuzzyphase "repro"
+	"repro/internal/experiment"
+)
+
+func main() {
+	opt := fuzzyphase.Options{Seed: 1, Intervals: 200}
+	names := []string{
+		"odb-c",     // Q-I: flat CPI, unexplainable — anything cheap works
+		"spec.gzip", // Q-II: subtle explained phases
+		"odb-h.q18", // Q-III: high variance code cannot explain
+		"odb-h.q13", // Q-IV: high variance, strong phases
+		"spec.mcf",  // Q-IV: the classic SimPoint success story
+	}
+
+	const budget = 8 // simulated intervals each technique may spend
+	rows, err := experiment.Section7Sampling(names, budget, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("CPI-estimation error by sampling technique (budget: %d intervals)\n\n", budget)
+	experiment.RenderSampling(os.Stdout, rows)
+
+	fmt.Println()
+	fmt.Println("reading the table:")
+	fmt.Println("  - on Q-I/Q-II workloads every technique is accurate: variance is tiny,")
+	fmt.Println("    so the paper recommends the simplest (uniform).")
+	fmt.Println("  - on Q-IV workloads phase-based sampling exploits the strong phases.")
+	fmt.Println("  - on Q-III workloads phases lie about performance; spreading samples")
+	fmt.Println("    (stratified/statistical) hedges the unexplained variance.")
+
+	for _, r := range rows {
+		rec := fuzzyphase.Recommend(r.Quadrant)
+		fmt.Printf("\n%-12s is %s -> use %s sampling", r.Name, r.Quadrant, rec)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,189 @@
+// Package fuzzyphase reproduces "The Fuzzy Correlation between Code and
+// Performance Predictability" (Annavaram, Rakvic, Polito, Bouguet, Hankins,
+// Davies — MICRO-37, 2004) as an executable system.
+//
+// The library bundles everything the paper's methodology needs:
+//
+//   - simulated server workloads (an OLTP database, 22 DSS queries, a J2EE
+//     application server, and 26 SPEC CPU2K analogs) running on a
+//     cycle-approximate machine model with caches, branch prediction, an
+//     OS scheduler and disks;
+//   - a VTune-like sampling profiler and EIP-vector construction;
+//   - regression-tree cross-validation quantifying how well EIPs predict
+//     CPI (the paper's central measurement);
+//   - the quadrant classification and per-quadrant sampling-technique
+//     recommendation of §7.
+//
+// The simplest entry point is Analyze:
+//
+//	res, err := fuzzyphase.Analyze("odb-h.q13", fuzzyphase.Options{Seed: 1})
+//	if err != nil { ... }
+//	fmt.Print(fuzzyphase.Summary(res))
+//
+// Every table and figure of the paper can be regenerated through the
+// Figure and Table functions or the cmd/fuzzyphase CLI. All analyses are
+// deterministic for a fixed Options.Seed.
+package fuzzyphase
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/experiment"
+	"repro/internal/quadrant"
+	"repro/internal/sampling"
+	"repro/internal/workload"
+	_ "repro/internal/workload/all" // register every workload
+)
+
+// Options parameterize an analysis run; the zero value reproduces the
+// paper's setup (Itanium 2 machine, 100M-instruction-equivalent intervals,
+// 10-fold cross-validation, trees of up to 50 chambers).
+type Options = experiment.Options
+
+// Result is a complete per-workload analysis: the quadrant coordinates
+// (CPI variance and relative error), the RE_k curve, CPI breakdown, and
+// the underlying EIPVs.
+type Result = experiment.Result
+
+// Quadrant identifies one cell of the paper's §7 classification.
+type Quadrant = quadrant.Quadrant
+
+// The four quadrants.
+const (
+	QI   = quadrant.QI
+	QII  = quadrant.QII
+	QIII = quadrant.QIII
+	QIV  = quadrant.QIV
+)
+
+// Technique is a §7 sampling strategy.
+type Technique = sampling.Technique
+
+// Workloads returns the names of every runnable workload: "odb-c", "sjas",
+// "odb-h.q1".."odb-h.q22", and "spec.<name>" for the 26 SPEC CPU2K
+// analogs.
+func Workloads() []string { return workload.Names() }
+
+// Analyze runs the full paper pipeline on the named workload: simulate,
+// profile, build EIPVs, cross-validate a regression tree, classify.
+func Analyze(name string, opt Options) (*Result, error) {
+	return experiment.Analyze(name, opt)
+}
+
+// Summary renders a Result as a short human-readable report.
+func Summary(res *Result) string { return experiment.Summary(res) }
+
+// Classify places a workload in the quadrant space by its CPI variance and
+// relative error (thresholds 0.01 and 0.15, §7).
+func Classify(cpiVariance, relativeError float64) Quadrant {
+	return quadrant.Classify(cpiVariance, relativeError)
+}
+
+// Recommend returns the sampling technique best suited to a quadrant.
+func Recommend(q Quadrant) Technique { return quadrant.Recommend(q) }
+
+// Figure regenerates the numbered paper figure (2-13) as text on w.
+func Figure(id int, opt Options, w io.Writer) error {
+	switch id {
+	case 2:
+		curves, err := experiment.Figure2(opt)
+		if err != nil {
+			return err
+		}
+		experiment.RenderCurves(w, "Figure 2: relative error trend for ODB-C & SjAS", curves)
+	case 3:
+		spreads, err := experiment.Figure3(opt)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "Figure 3: EIP & CPI spread of ODB-C and SjAS")
+		for _, s := range spreads {
+			experiment.RenderSpread(w, s)
+		}
+	case 4:
+		b, err := experiment.Figure4(opt)
+		if err != nil {
+			return err
+		}
+		experiment.RenderBreakdown(w, b)
+	case 5:
+		b, err := experiment.Figure5(opt)
+		if err != nil {
+			return err
+		}
+		experiment.RenderBreakdown(w, b)
+	case 6:
+		tc, err := experiment.Figure6(opt)
+		if err != nil {
+			return err
+		}
+		experiment.RenderThreadComparison(w, tc)
+	case 7:
+		tc, err := experiment.Figure7(opt)
+		if err != nil {
+			return err
+		}
+		experiment.RenderThreadComparison(w, tc)
+	case 8:
+		c, err := experiment.Figure8(opt)
+		if err != nil {
+			return err
+		}
+		experiment.RenderCurves(w, "Figure 8: relative error trend for Q13", []experiment.Curve{c})
+	case 9:
+		s, err := experiment.Figure9(opt)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "Figure 9: EIP & CPI spread for Q13")
+		experiment.RenderSpread(w, s)
+	case 10:
+		c, err := experiment.Figure10(opt)
+		if err != nil {
+			return err
+		}
+		experiment.RenderCurves(w, "Figure 10: relative error trend for Q18", []experiment.Curve{c})
+	case 11:
+		s, err := experiment.Figure11(opt)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "Figure 11: EIP & CPI spread for Q18")
+		experiment.RenderSpread(w, s)
+	case 12:
+		b, err := experiment.Figure12(opt)
+		if err != nil {
+			return err
+		}
+		experiment.RenderBreakdown(w, b)
+	case 13:
+		experiment.RenderFigure13(w, experiment.Figure13())
+	default:
+		return fmt.Errorf("fuzzyphase: no figure %d (the paper has figures 1-13; figure 1 is part of table 1)", id)
+	}
+	return nil
+}
+
+// Table regenerates the numbered paper table (1 or 2) as text on w. opt is
+// ignored for Table 1 (it is a fixed worked example). progress, if
+// non-nil, receives each workload name as Table 2 completes it.
+func Table(id int, opt Options, w io.Writer, progress func(string)) error {
+	switch id {
+	case 1:
+		experiment.RenderTable1(w, experiment.Table1())
+	case 2:
+		rows, err := experiment.Table2(opt, func(name string, _ experiment.Table2Row) {
+			if progress != nil {
+				progress(name)
+			}
+		})
+		if err != nil {
+			return err
+		}
+		experiment.RenderTable2(w, rows)
+	default:
+		return fmt.Errorf("fuzzyphase: no table %d", id)
+	}
+	return nil
+}

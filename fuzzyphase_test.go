@@ -1,0 +1,93 @@
+package fuzzyphase
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWorkloadsCatalog(t *testing.T) {
+	names := Workloads()
+	if len(names) < 50 {
+		t.Fatalf("only %d workloads", len(names))
+	}
+	want := map[string]bool{"odb-c": false, "sjas": false, "odb-h.q13": false, "spec.mcf": false}
+	for _, n := range names {
+		if _, ok := want[n]; ok {
+			want[n] = true
+		}
+	}
+	for n, seen := range want {
+		if !seen {
+			t.Errorf("catalog missing %s", n)
+		}
+	}
+}
+
+func TestAnalyzeAndSummary(t *testing.T) {
+	res, err := Analyze("spec.gzip", Options{Seed: 1, Intervals: 60, Warmup: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Summary(res)
+	for _, frag := range []string{"spec.gzip", "RE_kopt", "quadrant"} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("summary missing %q:\n%s", frag, s)
+		}
+	}
+}
+
+func TestClassifyAndRecommend(t *testing.T) {
+	if q := Classify(0.001, 0.5); q != QI {
+		t.Fatalf("Classify low/weak = %v", q)
+	}
+	if q := Classify(0.5, 0.05); q != QIV {
+		t.Fatalf("Classify high/strong = %v", q)
+	}
+	if Recommend(QIV).String() != "phase-based" {
+		t.Fatal("Q-IV recommendation wrong")
+	}
+}
+
+func TestFigureDispatch(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Figure(13, Options{}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Q-IV") {
+		t.Fatal("figure 13 output wrong")
+	}
+	if err := Figure(1, Options{}, &buf); err == nil {
+		t.Fatal("figure 1 should direct users to table 1")
+	}
+	if err := Figure(99, Options{}, &buf); err == nil {
+		t.Fatal("figure 99 did not error")
+	}
+}
+
+func TestFigureRendersWithWorkloads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	opt := Options{Seed: 1, Intervals: 60, Warmup: 6}
+	var buf bytes.Buffer
+	if err := Figure(8, opt, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "odb-h.q13") {
+		t.Fatal("figure 8 output missing workload name")
+	}
+}
+
+func TestTableDispatch(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table(1, Options{}, &buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "EIP0 <= 20") {
+		t.Fatal("table 1 output wrong")
+	}
+	if err := Table(7, Options{}, &buf, nil); err == nil {
+		t.Fatal("table 7 did not error")
+	}
+}

@@ -1,0 +1,136 @@
+package addr
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func TestLayoutDisjoint(t *testing.T) {
+	s := NewSpace()
+	code := s.AllocCode("code", 0x10000)
+	data := s.AllocData("data", 0x10000)
+	kern := s.AllocKernelCode("kern", 0x10000)
+	if code.Contains(data.Base) || data.Contains(code.Base) {
+		t.Fatal("code and data overlap")
+	}
+	if !IsKernel(kern.Base) {
+		t.Fatal("kernel region not in kernel range")
+	}
+	if IsKernel(code.Base) || IsKernel(data.Base) {
+		t.Fatal("user region classified as kernel")
+	}
+}
+
+func TestAllocationsDoNotOverlap(t *testing.T) {
+	s := NewSpace()
+	var regions []Region
+	r := xrand.New(1)
+	for i := 0; i < 100; i++ {
+		size := uint64(1 + r.Intn(1<<16))
+		switch i % 3 {
+		case 0:
+			regions = append(regions, s.AllocCode("c", size))
+		case 1:
+			regions = append(regions, s.AllocData("d", size))
+		default:
+			regions = append(regions, s.AllocKernelCode("k", size))
+		}
+	}
+	for i := range regions {
+		for j := i + 1; j < len(regions); j++ {
+			a, b := regions[i], regions[j]
+			if a.Base < b.End() && b.Base < a.End() {
+				t.Fatalf("regions overlap: %v and %v", a, b)
+			}
+		}
+	}
+}
+
+func TestCodeAlignment(t *testing.T) {
+	s := NewSpace()
+	for i := 0; i < 10; i++ {
+		r := s.AllocCode("c", 100)
+		if r.Base%CodeAlign != 0 {
+			t.Fatalf("code region not aligned: %v", r)
+		}
+	}
+}
+
+func TestFind(t *testing.T) {
+	s := NewSpace()
+	a := s.AllocCode("a", 0x1000)
+	b := s.AllocData("b", 0x2000)
+	cases := []struct {
+		addr Address
+		want string
+		ok   bool
+	}{
+		{a.Base, "a", true},
+		{a.Base + 0xfff, "a", true},
+		{a.End(), "", false},
+		{b.Base + 1, "b", true},
+		{0, "", false},
+		{KernelBase, "", false},
+	}
+	for _, c := range cases {
+		got, ok := s.Find(c.addr)
+		if ok != c.ok || (ok && got.Name != c.want) {
+			t.Errorf("Find(%#x) = %v,%v want %q,%v", c.addr, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestFindAlwaysReturnsContainingRegion(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		s := NewSpace()
+		var regions []Region
+		for i := 0; i < 20; i++ {
+			regions = append(regions, s.AllocData("d", uint64(1+rng.Intn(4096))))
+		}
+		for _, reg := range regions {
+			probe := reg.Base + Address(rng.Uint64n(reg.Size))
+			found, ok := s.Find(probe)
+			if !ok || !found.Contains(probe) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroSizePanics(t *testing.T) {
+	s := NewSpace()
+	for name, f := range map[string]func(){
+		"code":   func() { s.AllocCode("x", 0) },
+		"data":   func() { s.AllocData("x", 0) },
+		"kernel": func() { s.AllocKernelCode("x", 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestRegionsSorted(t *testing.T) {
+	s := NewSpace()
+	s.AllocKernelCode("k", 10)
+	s.AllocCode("c", 10)
+	s.AllocData("d", 10)
+	regs := s.Regions()
+	for i := 1; i < len(regs); i++ {
+		if regs[i-1].Base > regs[i].Base {
+			t.Fatalf("regions not sorted: %v", regs)
+		}
+	}
+}

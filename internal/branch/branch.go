@@ -1,0 +1,150 @@
+// Package branch implements the branch predictors used by the CPU model.
+//
+// The paper attributes part of the front-end (FE) stall component to branch
+// mispredictions, and explains gcc's Q-III placement by its high
+// misprediction rate; the predictors here produce those effects from actual
+// outcome streams rather than from assumed rates.
+package branch
+
+import "fmt"
+
+// Predictor predicts conditional branch outcomes and learns from them.
+type Predictor interface {
+	// Predict returns the predicted direction for the branch at pc.
+	Predict(pc uint64) bool
+	// Update trains the predictor with the actual outcome.
+	Update(pc uint64, taken bool)
+	// Stats returns accumulated accuracy counters.
+	Stats() Stats
+}
+
+// Stats counts prediction outcomes.
+type Stats struct {
+	Correct int64
+	Wrong   int64
+}
+
+// Total returns the number of predicted branches.
+func (s Stats) Total() int64 { return s.Correct + s.Wrong }
+
+// MispredictRate returns Wrong/Total, or 0 if no branches.
+func (s Stats) MispredictRate() float64 {
+	if t := s.Total(); t > 0 {
+		return float64(s.Wrong) / float64(t)
+	}
+	return 0
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("branches=%d mispredict=%.4f", s.Total(), s.MispredictRate())
+}
+
+// counterPredict interprets a 2-bit saturating counter.
+func counterPredict(c uint8) bool { return c >= 2 }
+
+func counterUpdate(c uint8, taken bool) uint8 {
+	if taken {
+		if c < 3 {
+			return c + 1
+		}
+		return 3
+	}
+	if c > 0 {
+		return c - 1
+	}
+	return 0
+}
+
+// Bimodal is a classic table of 2-bit saturating counters indexed by PC.
+type Bimodal struct {
+	table []uint8
+	mask  uint64
+	stats Stats
+}
+
+// NewBimodal returns a bimodal predictor with 2^bits entries, initialized
+// weakly taken. It panics if bits is not in [1, 30].
+func NewBimodal(bits int) *Bimodal {
+	if bits < 1 || bits > 30 {
+		panic(fmt.Sprintf("branch: NewBimodal bits=%d", bits))
+	}
+	t := make([]uint8, 1<<bits)
+	for i := range t {
+		t[i] = 2
+	}
+	return &Bimodal{table: t, mask: uint64(len(t) - 1)}
+}
+
+func (b *Bimodal) index(pc uint64) uint64 { return (pc >> 2) & b.mask }
+
+// Predict implements Predictor.
+func (b *Bimodal) Predict(pc uint64) bool { return counterPredict(b.table[b.index(pc)]) }
+
+// Update implements Predictor.
+func (b *Bimodal) Update(pc uint64, taken bool) {
+	i := b.index(pc)
+	if counterPredict(b.table[i]) == taken {
+		b.stats.Correct++
+	} else {
+		b.stats.Wrong++
+	}
+	b.table[i] = counterUpdate(b.table[i], taken)
+}
+
+// Stats implements Predictor.
+func (b *Bimodal) Stats() Stats { return b.stats }
+
+// Gshare XORs a global history register into the PC index, capturing
+// correlated branch behaviour.
+type Gshare struct {
+	table   []uint8
+	mask    uint64
+	history uint64
+	bits    uint
+	stats   Stats
+}
+
+// NewGshare returns a gshare predictor with 2^bits entries and bits of
+// global history. It panics if bits is not in [1, 30].
+func NewGshare(bits int) *Gshare {
+	if bits < 1 || bits > 30 {
+		panic(fmt.Sprintf("branch: NewGshare bits=%d", bits))
+	}
+	t := make([]uint8, 1<<bits)
+	for i := range t {
+		t[i] = 2
+	}
+	return &Gshare{table: t, mask: uint64(len(t) - 1), bits: uint(bits)}
+}
+
+func (g *Gshare) index(pc uint64) uint64 { return ((pc >> 2) ^ g.history) & g.mask }
+
+// Predict implements Predictor.
+func (g *Gshare) Predict(pc uint64) bool { return counterPredict(g.table[g.index(pc)]) }
+
+// Update implements Predictor.
+func (g *Gshare) Update(pc uint64, taken bool) {
+	i := g.index(pc)
+	if counterPredict(g.table[i]) == taken {
+		g.stats.Correct++
+	} else {
+		g.stats.Wrong++
+	}
+	g.table[i] = counterUpdate(g.table[i], taken)
+	g.history = ((g.history << 1) | boolBit(taken)) & g.mask
+}
+
+// Stats implements Predictor.
+func (g *Gshare) Stats() Stats { return g.stats }
+
+func boolBit(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+var (
+	_ Predictor = (*Bimodal)(nil)
+	_ Predictor = (*Gshare)(nil)
+)

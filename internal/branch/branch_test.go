@@ -1,0 +1,147 @@
+package branch
+
+import (
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestCounterSaturation(t *testing.T) {
+	c := uint8(2)
+	for i := 0; i < 10; i++ {
+		c = counterUpdate(c, true)
+	}
+	if c != 3 {
+		t.Fatalf("counter did not saturate at 3: %d", c)
+	}
+	for i := 0; i < 10; i++ {
+		c = counterUpdate(c, false)
+	}
+	if c != 0 {
+		t.Fatalf("counter did not saturate at 0: %d", c)
+	}
+}
+
+func TestBimodalLearnsAlwaysTaken(t *testing.T) {
+	p := NewBimodal(10)
+	pc := uint64(0x400100)
+	for i := 0; i < 100; i++ {
+		p.Update(pc, true)
+	}
+	if !p.Predict(pc) {
+		t.Fatal("did not learn always-taken")
+	}
+	if r := p.Stats().MispredictRate(); r > 0.02 {
+		t.Fatalf("always-taken mispredict rate %v", r)
+	}
+}
+
+func TestBimodalLearnsAlwaysNotTaken(t *testing.T) {
+	p := NewBimodal(10)
+	pc := uint64(0x400200)
+	for i := 0; i < 100; i++ {
+		p.Update(pc, false)
+	}
+	if p.Predict(pc) {
+		t.Fatal("did not learn never-taken")
+	}
+}
+
+func TestBimodalLoopPattern(t *testing.T) {
+	// A loop branch taken 15 of 16 times should mispredict ~1/16.
+	p := NewBimodal(12)
+	pc := uint64(0x400300)
+	for i := 0; i < 1600; i++ {
+		p.Update(pc, i%16 != 15)
+	}
+	r := p.Stats().MispredictRate()
+	if r > 0.09 {
+		t.Fatalf("loop mispredict rate %v, want ~0.0625", r)
+	}
+}
+
+func TestBimodalRandomIsHard(t *testing.T) {
+	p := NewBimodal(12)
+	r := xrand.New(1)
+	pc := uint64(0x400400)
+	for i := 0; i < 10000; i++ {
+		p.Update(pc, r.Bool(0.5))
+	}
+	rate := p.Stats().MispredictRate()
+	if rate < 0.4 {
+		t.Fatalf("random branch rate %v, expected near 0.5", rate)
+	}
+}
+
+func TestGshareBeatsBimodalOnCorrelated(t *testing.T) {
+	// Alternating pattern T,N,T,N is hopeless for 2-bit bimodal (stuck at
+	// the weakly-taken boundary) but trivial for gshare's history.
+	bi, gs := NewBimodal(12), NewGshare(12)
+	pc := uint64(0x400500)
+	for i := 0; i < 4000; i++ {
+		taken := i%2 == 0
+		bi.Update(pc, taken)
+		gs.Update(pc, taken)
+	}
+	if gs.Stats().MispredictRate() >= bi.Stats().MispredictRate() {
+		t.Fatalf("gshare (%v) not better than bimodal (%v) on alternation",
+			gs.Stats().MispredictRate(), bi.Stats().MispredictRate())
+	}
+	if gs.Stats().MispredictRate() > 0.05 {
+		t.Fatalf("gshare rate %v on trivially correlated pattern", gs.Stats().MispredictRate())
+	}
+}
+
+func TestDistinctPCsIndependent(t *testing.T) {
+	p := NewBimodal(12)
+	a, b := uint64(0x400000), uint64(0x400004)
+	for i := 0; i < 50; i++ {
+		p.Update(a, true)
+		p.Update(b, false)
+	}
+	if !p.Predict(a) || p.Predict(b) {
+		t.Fatal("aliasing between distinct PCs in large table")
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	p := NewGshare(8)
+	for i := 0; i < 10; i++ {
+		p.Update(0x400000, true)
+	}
+	s := p.Stats()
+	if s.Total() != 10 {
+		t.Fatalf("Total = %d", s.Total())
+	}
+	if s.Correct+s.Wrong != 10 {
+		t.Fatalf("Correct+Wrong = %d", s.Correct+s.Wrong)
+	}
+	var empty Stats
+	if empty.MispredictRate() != 0 {
+		t.Fatal("empty rate != 0")
+	}
+	if empty.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	for _, bits := range []int{0, -1, 31} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewBimodal(%d): expected panic", bits)
+				}
+			}()
+			NewBimodal(bits)
+		}()
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewGshare(%d): expected panic", bits)
+				}
+			}()
+			NewGshare(bits)
+		}()
+	}
+}

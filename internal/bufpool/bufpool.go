@@ -1,0 +1,83 @@
+// Package bufpool models the database server's main-memory buffer cache —
+// the Oracle SGA of the paper's setup (§2.3). ODB-C runs with a 14GB SGA
+// that holds most of the working set; ODB-H runs with 2GB. Whether a page
+// access hits the pool determines whether the accessing thread merely
+// touches memory (and the CPU cache hierarchy) or blocks on a disk read,
+// so the pool's hit rate drives both the CPI and the context-switch
+// behaviour of the database workloads.
+package bufpool
+
+import (
+	"container/list"
+	"fmt"
+)
+
+// PageID identifies a database page.
+type PageID uint64
+
+// Stats counts pool activity.
+type Stats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+}
+
+// HitRate returns Hits/(Hits+Misses), or 0 with no accesses.
+func (s Stats) HitRate() float64 {
+	if t := s.Hits + s.Misses; t > 0 {
+		return float64(s.Hits) / float64(t)
+	}
+	return 0
+}
+
+// Pool is an LRU buffer cache over database pages.
+type Pool struct {
+	capacity int
+	lru      *list.List               // front = most recent
+	index    map[PageID]*list.Element // page -> node
+	stats    Stats
+}
+
+// New returns a pool holding up to capacity pages. It panics if
+// capacity <= 0.
+func New(capacity int) *Pool {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("bufpool: New capacity=%d", capacity))
+	}
+	return &Pool{capacity: capacity, lru: list.New(), index: make(map[PageID]*list.Element, capacity)}
+}
+
+// Capacity returns the pool's page capacity.
+func (p *Pool) Capacity() int { return p.capacity }
+
+// Len returns the number of resident pages.
+func (p *Pool) Len() int { return p.lru.Len() }
+
+// Stats returns accumulated statistics.
+func (p *Pool) Stats() Stats { return p.stats }
+
+// Access touches page, returning true on a hit. On a miss the page is
+// brought in, evicting the LRU page if the pool is full; the caller models
+// the corresponding disk read.
+func (p *Pool) Access(page PageID) bool {
+	if e, ok := p.index[page]; ok {
+		p.lru.MoveToFront(e)
+		p.stats.Hits++
+		return true
+	}
+	p.stats.Misses++
+	if p.lru.Len() >= p.capacity {
+		back := p.lru.Back()
+		p.lru.Remove(back)
+		delete(p.index, back.Value.(PageID))
+		p.stats.Evictions++
+	}
+	p.index[page] = p.lru.PushFront(page)
+	return false
+}
+
+// Contains reports residency without touching LRU order or stats.
+func (p *Pool) Contains(page PageID) bool {
+	_, ok := p.index[page]
+	return ok
+}

@@ -1,0 +1,256 @@
+// Package cache implements the set-associative cache simulator behind the
+// CPU model's memory hierarchy.
+//
+// The simulator is functional (hit/miss per access) rather than timed;
+// latency assignment is the CPU model's job. Caches use true-LRU
+// replacement within a set and are write-allocate, matching the behaviour
+// whose aggregate effects the paper measures through stall-cycle counters.
+package cache
+
+import "fmt"
+
+// Config describes one cache level.
+type Config struct {
+	Name     string
+	Size     int64 // total bytes; must be a positive multiple of LineSize*Assoc
+	LineSize int   // bytes per line; must be a power of two
+	Assoc    int   // ways per set
+}
+
+// Stats accumulates hit/miss counts for a cache.
+type Stats struct {
+	Hits   int64
+	Misses int64
+}
+
+// Accesses returns total accesses.
+func (s Stats) Accesses() int64 { return s.Hits + s.Misses }
+
+// MissRate returns misses/accesses, or 0 if no accesses.
+func (s Stats) MissRate() float64 {
+	if t := s.Accesses(); t > 0 {
+		return float64(s.Misses) / float64(t)
+	}
+	return 0
+}
+
+// Cache is a single set-associative cache with LRU replacement.
+type Cache struct {
+	cfg      Config
+	sets     int
+	lineBits uint
+	setBits  uint
+	setMask  uint64
+	tags     []uint64 // sets*assoc entries; 0 = invalid (tag 0 stored as tag|valid bit)
+	stamps   []uint64 // LRU timestamps, parallel to tags
+	clock    uint64
+	stats    Stats
+}
+
+const validBit = 1 << 63
+
+// New builds a cache from cfg. It panics on an invalid geometry.
+func New(cfg Config) *Cache {
+	if cfg.LineSize <= 0 || cfg.LineSize&(cfg.LineSize-1) != 0 {
+		panic(fmt.Sprintf("cache %s: line size %d not a power of two", cfg.Name, cfg.LineSize))
+	}
+	if cfg.Assoc <= 0 {
+		panic(fmt.Sprintf("cache %s: associativity %d", cfg.Name, cfg.Assoc))
+	}
+	lines := cfg.Size / int64(cfg.LineSize)
+	if lines <= 0 || lines%int64(cfg.Assoc) != 0 {
+		panic(fmt.Sprintf("cache %s: size %d not a multiple of line*assoc", cfg.Name, cfg.Size))
+	}
+	sets := int(lines) / cfg.Assoc
+	if sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cache %s: set count %d not a power of two", cfg.Name, sets))
+	}
+	var lb uint
+	for 1<<lb != cfg.LineSize {
+		lb++
+	}
+	var sb uint
+	for 1<<sb != sets {
+		sb++
+	}
+	return &Cache{
+		cfg:      cfg,
+		sets:     sets,
+		lineBits: lb,
+		setBits:  sb,
+		setMask:  uint64(sets - 1),
+		tags:     make([]uint64, sets*cfg.Assoc),
+		stamps:   make([]uint64, sets*cfg.Assoc),
+	}
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns the accumulated hit/miss statistics.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the hit/miss counters without disturbing contents.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// Access looks up addr, installing the line on a miss (write-allocate; the
+// write flag currently only matters to callers). It returns true on a hit.
+func (c *Cache) Access(addr uint64, write bool) bool {
+	_ = write
+	line := addr >> c.lineBits
+	set := int(line & c.setMask)
+	tag := (line >> c.setBits) | validBit
+	base := set * c.cfg.Assoc
+	c.clock++
+
+	ways := c.tags[base : base+c.cfg.Assoc]
+	for i, t := range ways {
+		if t == tag {
+			c.stamps[base+i] = c.clock
+			c.stats.Hits++
+			return true
+		}
+	}
+	c.stats.Misses++
+	// Replace invalid way if present, else LRU.
+	victim := 0
+	oldest := c.stamps[base]
+	for i, t := range ways {
+		if t&validBit == 0 {
+			victim = i
+			break
+		}
+		if c.stamps[base+i] < oldest {
+			oldest = c.stamps[base+i]
+			victim = i
+		}
+	}
+	c.tags[base+victim] = tag
+	c.stamps[base+victim] = c.clock
+	return false
+}
+
+// Contains reports whether addr's line is currently cached, without
+// touching LRU state or statistics.
+func (c *Cache) Contains(addr uint64) bool {
+	line := addr >> c.lineBits
+	set := int(line & c.setMask)
+	tag := (line >> c.setBits) | validBit
+	base := set * c.cfg.Assoc
+	for _, t := range c.tags[base : base+c.cfg.Assoc] {
+		if t == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Flush invalidates all lines (used to model the cache disturbance of a
+// context switch at a coarser granularity, see FlushFraction).
+func (c *Cache) Flush() {
+	for i := range c.tags {
+		c.tags[i] = 0
+	}
+}
+
+// FlushFraction invalidates roughly the given fraction of lines by
+// invalidating every k-th way slot, deterministically. frac is clamped to
+// [0, 1]. This models the partial cache pollution caused by a context
+// switch without the cost of simulating the interloper's accesses.
+func (c *Cache) FlushFraction(frac float64) {
+	if frac <= 0 {
+		return
+	}
+	if frac >= 1 {
+		c.Flush()
+		return
+	}
+	stride := int(1 / frac)
+	if stride < 1 {
+		stride = 1
+	}
+	for i := 0; i < len(c.tags); i += stride {
+		c.tags[i] = 0
+	}
+}
+
+// Level identifies which level of the hierarchy serviced an access.
+type Level int
+
+// Hierarchy levels, in lookup order.
+const (
+	LevelL1 Level = iota
+	LevelL2
+	LevelL3
+	LevelMemory
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelL1:
+		return "L1"
+	case LevelL2:
+		return "L2"
+	case LevelL3:
+		return "L3"
+	case LevelMemory:
+		return "memory"
+	default:
+		return fmt.Sprintf("Level(%d)", int(l))
+	}
+}
+
+// Hierarchy composes split L1 I/D caches with unified L2 and optional L3.
+// A nil L3 models machines without one (the paper's Pentium 4 system).
+type Hierarchy struct {
+	L1I, L1D *Cache
+	L2       *Cache
+	L3       *Cache // may be nil
+}
+
+// Data performs a data access and returns the level that serviced it.
+func (h *Hierarchy) Data(addr uint64, write bool) Level {
+	if h.L1D.Access(addr, write) {
+		return LevelL1
+	}
+	if h.L2.Access(addr, write) {
+		return LevelL2
+	}
+	if h.L3 == nil {
+		return LevelMemory
+	}
+	if h.L3.Access(addr, write) {
+		return LevelL3
+	}
+	return LevelMemory
+}
+
+// Inst performs an instruction fetch and returns the level that serviced it.
+func (h *Hierarchy) Inst(addr uint64) Level {
+	if h.L1I.Access(addr, false) {
+		return LevelL1
+	}
+	if h.L2.Access(addr, false) {
+		return LevelL2
+	}
+	if h.L3 == nil {
+		return LevelMemory
+	}
+	if h.L3.Access(addr, false) {
+		return LevelL3
+	}
+	return LevelMemory
+}
+
+// FlushFraction models context-switch pollution: the interloper's
+// footprint displaces a fraction of the small caches but proportionally
+// far less of the large ones (a scheduling path touches kilobytes, not
+// megabytes).
+func (h *Hierarchy) FlushFraction(frac float64) {
+	h.L1I.FlushFraction(frac)
+	h.L1D.FlushFraction(frac)
+	h.L2.FlushFraction(frac / 4)
+	if h.L3 != nil {
+		h.L3.FlushFraction(frac / 16)
+	}
+}

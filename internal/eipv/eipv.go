@@ -1,0 +1,252 @@
+// Package eipv builds EIP vectors from sampled profiles (§3.2): the
+// execution is divided into fixed-length instruction intervals, and each
+// interval is represented by the histogram of EIPs sampled within it plus
+// the interval's average instantaneous CPI.
+//
+// The package also produces the per-interval CPI breakdown series behind
+// the paper's Figures 4/5/12 and the EIP/CPI spread series behind Figures
+// 3/9/11, and implements the §5.2 thread-separated variant.
+package eipv
+
+import (
+	"sort"
+
+	"repro/internal/cpu"
+	"repro/internal/profiler"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Vector is one EIPV: a sparse histogram of EIP sample counts over one
+// interval, with the interval's CPI statistics.
+type Vector struct {
+	// Index is the interval's ordinal position in its stream (whole-system
+	// or per-thread).
+	Index int
+	// Thread is the owning thread for thread-separated vectors, or -1.
+	Thread int
+	// Counts maps EIP -> number of samples in the interval.
+	Counts map[uint64]int
+	// CPI is the average instantaneous CPI of the interval's samples.
+	CPI float64
+	// Work, FE, EXE, Other decompose the interval's CPI (cycle components
+	// per instruction over the interval's counter deltas).
+	Work, FE, EXE, Other float64
+}
+
+// Samples returns the number of samples aggregated into the vector.
+func (v *Vector) Samples() int {
+	n := 0
+	for _, c := range v.Counts {
+		n += c
+	}
+	return n
+}
+
+// Set is a collection of EIPVs from one profile.
+type Set struct {
+	Workload string
+	Vectors  []Vector
+}
+
+// CPIs returns the per-interval CPI series.
+func (s *Set) CPIs() []float64 {
+	out := make([]float64, len(s.Vectors))
+	for i := range s.Vectors {
+		out[i] = s.Vectors[i].CPI
+	}
+	return out
+}
+
+// CPIVariance returns the population variance of interval CPI — the paper's
+// X-axis in the quadrant classification.
+func (s *Set) CPIVariance() float64 { return stats.Var(s.CPIs()) }
+
+// MeanCPI returns the mean interval CPI.
+func (s *Set) MeanCPI() float64 { return stats.Mean(s.CPIs()) }
+
+// UniqueEIPs returns the number of distinct EIPs across all vectors.
+func (s *Set) UniqueEIPs() int {
+	seen := map[uint64]struct{}{}
+	for i := range s.Vectors {
+		for e := range s.Vectors[i].Counts {
+			seen[e] = struct{}{}
+		}
+	}
+	return len(seen)
+}
+
+// SkipWarmup returns a Set without the first n vectors of each thread
+// stream (the paper analyzes steady-state windows).
+func (s *Set) SkipWarmup(n int) *Set {
+	out := &Set{Workload: s.Workload}
+	skipped := map[int]int{}
+	for i := range s.Vectors {
+		th := s.Vectors[i].Thread
+		if skipped[th] < n {
+			skipped[th]++
+			continue
+		}
+		out.Vectors = append(out.Vectors, s.Vectors[i])
+	}
+	return out
+}
+
+// instantaneous computes per-sample instantaneous CPI: the counter delta
+// between consecutive samples (§3.2: timestamp difference divided by
+// instructions retired in the sample period).
+func instantaneous(samples []profiler.Sample) []float64 {
+	out := make([]float64, len(samples))
+	var prev cpu.Counters
+	for i := range samples {
+		d := samples[i].Counters.Sub(prev)
+		out[i] = d.CPI()
+		prev = samples[i].Counters
+	}
+	return out
+}
+
+// Build aggregates a profile into whole-system EIPVs with the given
+// interval length in instructions. Samples are assigned to intervals by
+// their cumulative retired-instruction count.
+func Build(p *profiler.Profile, intervalInsts uint64) *Set {
+	s := &Set{Workload: p.Workload}
+	if len(p.Samples) == 0 {
+		return s
+	}
+	inst := instantaneous(p.Samples)
+	cur := -1
+	var acc *intervalAcc
+	for i := range p.Samples {
+		idx := int((p.Samples[i].Counters.Insts - 1) / intervalInsts)
+		if idx != cur {
+			if acc != nil {
+				s.Vectors = append(s.Vectors, acc.finish())
+			}
+			acc = newIntervalAcc(idx, -1, prevCounters(p, i))
+			cur = idx
+		}
+		acc.add(p.Samples[i], inst[i])
+	}
+	if acc != nil && acc.samples > 0 {
+		s.Vectors = append(s.Vectors, acc.finish())
+	}
+	return s
+}
+
+// BuildPerThread aggregates a profile into thread-separated EIPVs: the
+// samples are first partitioned by thread, and each thread's sample stream
+// is cut into vectors of the same number of samples as a whole-system
+// interval would contain (§5.2).
+func BuildPerThread(p *profiler.Profile, intervalInsts uint64) *Set {
+	s := &Set{Workload: p.Workload}
+	if len(p.Samples) == 0 {
+		return s
+	}
+	perInterval := int(intervalInsts / p.Period)
+	if perInterval < 1 {
+		perInterval = 1
+	}
+	inst := instantaneous(p.Samples)
+	accs := map[int]*intervalAcc{}
+	idx := map[int]int{}
+	for i := range p.Samples {
+		th := p.Samples[i].Thread
+		acc := accs[th]
+		if acc == nil {
+			acc = newIntervalAcc(idx[th], th, prevCounters(p, i))
+			accs[th] = acc
+		}
+		acc.add(p.Samples[i], inst[i])
+		if acc.samples >= perInterval {
+			s.Vectors = append(s.Vectors, acc.finish())
+			idx[th]++
+			accs[th] = nil
+		}
+	}
+	// Drop trailing partial vectors (incomplete intervals).
+	sort.SliceStable(s.Vectors, func(i, j int) bool {
+		if s.Vectors[i].Thread != s.Vectors[j].Thread {
+			return s.Vectors[i].Thread < s.Vectors[j].Thread
+		}
+		return s.Vectors[i].Index < s.Vectors[j].Index
+	})
+	return s
+}
+
+func prevCounters(p *profiler.Profile, i int) cpu.Counters {
+	if i == 0 {
+		return cpu.Counters{}
+	}
+	return p.Samples[i-1].Counters
+}
+
+// intervalAcc accumulates one vector.
+type intervalAcc struct {
+	index   int
+	thread  int
+	counts  map[uint64]int
+	cpiSum  float64
+	samples int
+	first   cpu.Counters
+	last    cpu.Counters
+}
+
+func newIntervalAcc(index, thread int, first cpu.Counters) *intervalAcc {
+	return &intervalAcc{index: index, thread: thread, counts: map[uint64]int{}, first: first}
+}
+
+func (a *intervalAcc) add(s profiler.Sample, instCPI float64) {
+	a.counts[s.EIP]++
+	a.cpiSum += instCPI
+	a.samples++
+	a.last = s.Counters
+}
+
+func (a *intervalAcc) finish() Vector {
+	v := Vector{
+		Index:  a.index,
+		Thread: a.thread,
+		Counts: a.counts,
+		CPI:    a.cpiSum / float64(a.samples),
+	}
+	d := a.last.Sub(a.first)
+	v.Work, v.FE, v.EXE, v.Other = d.Breakdown()
+	return v
+}
+
+// SpreadPoint is one sample of the paper's EIP/CPI spread plots.
+type SpreadPoint struct {
+	Seconds float64
+	EIPRank int     // rank of the EIP among unique EIPs (plot Y position)
+	CPI     float64 // instantaneous CPI
+}
+
+// Spread converts a profile to the Figure 3/9/11 time-series: per sample,
+// the modeled time, the sampled EIP (as a dense rank) and the
+// instantaneous CPI.
+func Spread(p *profiler.Profile) ([]SpreadPoint, int) {
+	inst := instantaneous(p.Samples)
+	// Rank EIPs by address so the Y axis is stable.
+	uniq := map[uint64]int{}
+	var eips []uint64
+	for i := range p.Samples {
+		if _, ok := uniq[p.Samples[i].EIP]; !ok {
+			uniq[p.Samples[i].EIP] = 0
+			eips = append(eips, p.Samples[i].EIP)
+		}
+	}
+	sort.Slice(eips, func(i, j int) bool { return eips[i] < eips[j] })
+	for r, e := range eips {
+		uniq[e] = r
+	}
+	out := make([]SpreadPoint, len(p.Samples))
+	for i := range p.Samples {
+		out[i] = SpreadPoint{
+			Seconds: workload.Seconds(p.Samples[i].Counters.Cycles),
+			EIPRank: uniq[p.Samples[i].EIP],
+			CPI:     inst[i],
+		}
+	}
+	return out, len(eips)
+}

@@ -1,0 +1,476 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cpu"
+	"repro/internal/db"
+	"repro/internal/eipv"
+	"repro/internal/kmeans"
+	"repro/internal/quadrant"
+	"repro/internal/rtree"
+	"repro/internal/sampling"
+	"repro/internal/specgen"
+	"repro/internal/workload"
+)
+
+// Curve is one relative-error-vs-k series (the paper's Figures 2, 6-8, 10).
+type Curve struct {
+	Name string
+	RE   []float64 // RE[k-1] for k = 1..len
+	KOpt int
+	// REOpt is the curve minimum (the paper's RE_kopt).
+	REOpt float64
+}
+
+func curveOf(res *Result, name string) Curve {
+	return Curve{Name: name, RE: res.CV.RE, KOpt: res.CV.KOpt, REOpt: res.CV.REOpt}
+}
+
+// Figure2 reproduces "Relative Error Trend for ODB-C & SjAS": ODB-C's
+// curve rises above one with k while SjAS stays flat just under one.
+func Figure2(opt Options) ([]Curve, error) {
+	var out []Curve
+	for _, name := range []string{"odb-c", "sjas"} {
+		res, err := Analyze(name, opt)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, curveOf(res, name))
+	}
+	return out, nil
+}
+
+// SpreadData is one workload's EIP & CPI spread (Figures 3, 9, 11).
+type SpreadData struct {
+	Name        string
+	Points      []eipv.SpreadPoint
+	UniqueEIPs  int
+	CPIVariance float64
+	Seconds     float64
+}
+
+func spreadOf(res *Result) SpreadData {
+	pts, unique := eipv.Spread(res.Profile)
+	secs := 0.0
+	if len(pts) > 0 {
+		secs = pts[len(pts)-1].Seconds - pts[0].Seconds
+	}
+	return SpreadData{
+		Name:        res.Name,
+		Points:      pts,
+		UniqueEIPs:  unique,
+		CPIVariance: res.CPIVariance,
+		Seconds:     secs,
+	}
+}
+
+// Figure3 reproduces the EIP & CPI spread of ODB-C and SjAS: tens of
+// thousands of uniformly exercised EIPs over a small-variance CPI band.
+func Figure3(opt Options) ([]SpreadData, error) {
+	var out []SpreadData
+	for _, name := range []string{"odb-c", "sjas"} {
+		res, err := Analyze(name, opt)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, spreadOf(res))
+	}
+	return out, nil
+}
+
+// BreakdownSeries is a per-interval CPI decomposition (Figures 4, 5, 12).
+type BreakdownSeries struct {
+	Name                 string
+	Work, FE, EXE, Other []float64
+	// EXEShare is EXE's mean fraction of CPI (the paper's headline:
+	// >50% for ODB-C, 30-40% for SjAS).
+	EXEShare float64
+}
+
+func breakdownOf(res *Result) BreakdownSeries {
+	b := BreakdownSeries{Name: res.Name}
+	var exeSum, cpiSum float64
+	for _, v := range res.Set.Vectors {
+		b.Work = append(b.Work, v.Work)
+		b.FE = append(b.FE, v.FE)
+		b.EXE = append(b.EXE, v.EXE)
+		b.Other = append(b.Other, v.Other)
+		exeSum += v.EXE
+		cpiSum += v.CPI
+	}
+	if cpiSum > 0 {
+		b.EXEShare = exeSum / cpiSum
+	}
+	return b
+}
+
+// Figure4 reproduces the ODB-C CPI breakdown (EXE/L3 stalls dominant).
+func Figure4(opt Options) (BreakdownSeries, error) {
+	res, err := Analyze("odb-c", opt)
+	if err != nil {
+		return BreakdownSeries{}, err
+	}
+	return breakdownOf(res), nil
+}
+
+// Figure5 reproduces the SjAS CPI breakdown (EXE 30-40%).
+func Figure5(opt Options) (BreakdownSeries, error) {
+	res, err := Analyze("sjas", opt)
+	if err != nil {
+		return BreakdownSeries{}, err
+	}
+	return breakdownOf(res), nil
+}
+
+// ThreadComparison is a Figures 6/7 pair: RE with and without thread
+// separation.
+type ThreadComparison struct {
+	Name     string
+	NoThread Curve
+	Thread   Curve
+}
+
+func threadComparison(name string, opt Options) (ThreadComparison, error) {
+	noThread, err := Analyze(name, opt)
+	if err != nil {
+		return ThreadComparison{}, err
+	}
+	sep := opt
+	sep.ThreadSeparated = true
+	thread, err := Analyze(name, sep)
+	if err != nil {
+		return ThreadComparison{}, err
+	}
+	return ThreadComparison{
+		Name:     name,
+		NoThread: curveOf(noThread, name+".nothread"),
+		Thread:   curveOf(thread, name+".thread"),
+	}, nil
+}
+
+// Figure6 reproduces ODB-C relative error with & without threads.
+func Figure6(opt Options) (ThreadComparison, error) { return threadComparison("odb-c", opt) }
+
+// Figure7 reproduces SjAS relative error with & without threads.
+func Figure7(opt Options) (ThreadComparison, error) { return threadComparison("sjas", opt) }
+
+// Figure8 reproduces the Q13 relative error trend (drops fast to a low
+// asymptote at small k).
+func Figure8(opt Options) (Curve, error) {
+	res, err := Analyze("odb-h.q13", opt)
+	if err != nil {
+		return Curve{}, err
+	}
+	return curveOf(res, "odb-h.q13"), nil
+}
+
+// Figure9 reproduces the Q13 EIP & CPI spread (loopy, strongly correlated).
+func Figure9(opt Options) (SpreadData, error) {
+	res, err := Analyze("odb-h.q13", opt)
+	if err != nil {
+		return SpreadData{}, err
+	}
+	return spreadOf(res), nil
+}
+
+// Figure10 reproduces the Q18 relative error trend (flat above one).
+func Figure10(opt Options) (Curve, error) {
+	res, err := Analyze("odb-h.q18", opt)
+	if err != nil {
+		return Curve{}, err
+	}
+	return curveOf(res, "odb-h.q18"), nil
+}
+
+// Figure11 reproduces the Q18 EIP & CPI spread (same EIPs, erratic CPI).
+func Figure11(opt Options) (SpreadData, error) {
+	res, err := Analyze("odb-h.q18", opt)
+	if err != nil {
+		return SpreadData{}, err
+	}
+	return spreadOf(res), nil
+}
+
+// Figure12 reproduces the Q18 CPI breakdown (no single dominant,
+// time-shifting bottleneck).
+func Figure12(opt Options) (BreakdownSeries, error) {
+	res, err := Analyze("odb-h.q18", opt)
+	if err != nil {
+		return BreakdownSeries{}, err
+	}
+	return breakdownOf(res), nil
+}
+
+// Figure13Cell describes one quadrant of the classification space.
+type Figure13Cell struct {
+	Quadrant  quadrant.Quadrant
+	VarLabel  string
+	RELabel   string
+	Technique sampling.Technique
+	Rationale string
+}
+
+// Figure13 reproduces the quadrant-space definition.
+func Figure13() []Figure13Cell {
+	mk := func(q quadrant.Quadrant, v, r string) Figure13Cell {
+		return Figure13Cell{Quadrant: q, VarLabel: v, RELabel: r,
+			Technique: quadrant.Recommend(q), Rationale: quadrant.Rationale(q)}
+	}
+	return []Figure13Cell{
+		mk(quadrant.QI, "<= 0.01", "> 0.15"),
+		mk(quadrant.QII, "<= 0.01", "<= 0.15"),
+		mk(quadrant.QIII, "> 0.01", "> 0.15"),
+		mk(quadrant.QIV, "> 0.01", "<= 0.15"),
+	}
+}
+
+// Table1Result is the worked example's reproduction (Table 1 + Figure 1).
+type Table1Result struct {
+	Data   rtree.Dataset
+	Splits []rtree.Split
+	// ChamberCPI maps each EIPV index to its chamber's mean CPI.
+	ChamberCPI []float64
+}
+
+// Table1 builds the paper's example regression tree.
+func Table1() Table1Result {
+	data := rtree.ExampleTable1()
+	tree := rtree.Build(data, rtree.Options{MaxLeaves: 4, MinLeaf: 1})
+	out := Table1Result{Data: data, Splits: tree.Splits()}
+	for _, p := range data {
+		out.ChamberCPI = append(out.ChamberCPI, tree.Predict(p.Counts))
+	}
+	return out
+}
+
+// Table2Row is one benchmark's classification (the paper's Table 2).
+type Table2Row struct {
+	Name     string
+	Group    string // "server", "odb-h", "spec"
+	CPIVar   float64
+	REOpt    float64
+	KOpt     int
+	Quadrant quadrant.Quadrant
+	// Target is the paper's placement (empty when the paper's table is
+	// ambiguous for this entry).
+	Target string
+}
+
+// Table2Workloads lists the full suite in presentation order.
+func Table2Workloads() []Table2Row {
+	rows := []Table2Row{
+		{Name: "odb-c", Group: "server", Target: "Q-I"},
+		{Name: "sjas", Group: "server", Target: "Q-III"},
+	}
+	for _, q := range db.Queries() {
+		target := ""
+		switch q.Behavior {
+		case db.ScanJoinSort:
+			target = "Q-IV"
+		case db.IndexErratic:
+			target = "Q-III"
+		case db.UniformScan:
+			target = "Q-I"
+		case db.SubtlePhases:
+			target = "Q-II"
+		}
+		rows = append(rows, Table2Row{Name: fmt.Sprintf("odb-h.q%d", q.ID), Group: "odb-h", Target: target})
+	}
+	names := specgen.Names()
+	sort.Strings(names)
+	for _, n := range names {
+		rows = append(rows, Table2Row{Name: "spec." + n, Group: "spec", Target: specgen.TargetQuadrant[n]})
+	}
+	return rows
+}
+
+// Table2 classifies every workload in the suite. progress, if non-nil, is
+// called after each workload (CLI feedback; analysis of the full suite
+// takes minutes).
+func Table2(opt Options, progress func(name string, row Table2Row)) ([]Table2Row, error) {
+	rows := Table2Workloads()
+	for i := range rows {
+		res, err := Analyze(rows[i].Name, opt)
+		if err != nil {
+			return nil, fmt.Errorf("table2: %s: %w", rows[i].Name, err)
+		}
+		rows[i].CPIVar = res.CPIVariance
+		rows[i].REOpt = res.CV.REOpt
+		rows[i].KOpt = res.CV.KOpt
+		rows[i].Quadrant = res.Quadrant
+		if progress != nil {
+			progress(rows[i].Name, rows[i])
+		}
+	}
+	return rows, nil
+}
+
+// QuadrantCensus tallies rows per quadrant and group.
+func QuadrantCensus(rows []Table2Row) map[string]map[quadrant.Quadrant]int {
+	out := map[string]map[quadrant.Quadrant]int{}
+	for _, r := range rows {
+		if out[r.Group] == nil {
+			out[r.Group] = map[quadrant.Quadrant]int{}
+		}
+		out[r.Group][r.Quadrant]++
+	}
+	return out
+}
+
+// TreeVsKMeans is the §4.6 comparison for one workload, under the paper's
+// protocol: "we choose k-values independently from both schemes, where the
+// k value is less than 50 and the performance predictability is minimized
+// for each algorithm respectively". Both algorithms partition the same
+// EIPVs into at most 50 groups and are scored by the same in-sample
+// relative error (within-group CPI MSE over total CPI variance). K-means
+// never sees CPI when forming clusters — the paper's point — so wherever
+// code and CPI decouple it falls behind.
+type TreeVsKMeans struct {
+	Name string
+	// TreeRE is the tree's minimized in-sample RE (k <= 50).
+	TreeRE float64
+	// TreeCV is the honest cross-validated RE_kopt, for reference.
+	TreeCV  float64
+	KMeans  float64 // best in-sample K-means RE over k <= 50
+	KMeansK int
+	// Improvement is (KMeans - TreeRE) / KMeans when positive.
+	Improvement float64
+}
+
+// Section46 compares regression trees against K-means clustering on the
+// given workloads (the paper reports an average ~80% improvement in CPI
+// predictability across its suite).
+func Section46(names []string, opt Options) ([]TreeVsKMeans, error) {
+	var out []TreeVsKMeans
+	for _, name := range names {
+		res, err := Analyze(name, opt)
+		if err != nil {
+			return nil, err
+		}
+		maxK := opt.withDefaults().MaxLeaves
+		km, kk, err := kmeans.BestRE(Vectors(res.Set), res.Set.CPIs(), maxK, opt.Seed)
+		if err != nil {
+			return nil, err
+		}
+		tree := rtree.Build(Dataset(res.Set), rtree.Options{MaxLeaves: maxK, MinLeaf: 2})
+		treeRE := tree.InSampleRE(tree.Leaves())
+		row := TreeVsKMeans{Name: name, TreeRE: treeRE, TreeCV: res.CV.REOpt, KMeans: km, KMeansK: kk}
+		if km > 0 {
+			row.Improvement = (km - treeRE) / km
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// SamplingRow is one workload's §7 sampling-technique evaluation.
+type SamplingRow struct {
+	Name      string
+	Quadrant  quadrant.Quadrant
+	Evals     []sampling.Eval
+	Recommend sampling.Technique
+	// RequiredFor2Pct is the random-sample budget the statistical
+	// error-bound math demands for a 2% CPI estimate — tiny for Q-I/Q-II
+	// workloads, large exactly where the paper prescribes statistical
+	// sampling.
+	RequiredFor2Pct int
+}
+
+// Section7Sampling evaluates every sampling technique on every named
+// workload with the given interval budget.
+func Section7Sampling(names []string, budget int, opt Options) ([]SamplingRow, error) {
+	var out []SamplingRow
+	for _, name := range names {
+		res, err := Analyze(name, opt)
+		if err != nil {
+			return nil, err
+		}
+		evals, err := sampling.Evaluate(res.Set.CPIs(), Vectors(res.Set), budget, opt.Seed)
+		if err != nil {
+			return nil, err
+		}
+		needed, err := sampling.RequiredSamples(res.Set.CPIs(), 0.02)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SamplingRow{
+			Name:            name,
+			Quadrant:        res.Quadrant,
+			Evals:           evals,
+			Recommend:       quadrant.Recommend(res.Quadrant),
+			RequiredFor2Pct: needed,
+		})
+	}
+	return out, nil
+}
+
+// SweepRow is one configuration of the §7.1 robustness sweeps.
+type SweepRow struct {
+	Label   string
+	Name    string
+	CPIVar  float64
+	REOpt   float64
+	MeanCPI float64
+}
+
+// Section71Intervals sweeps the EIPV interval length (the paper's
+// 100M/50M/10M instructions): shrinking intervals raises both CPI variance
+// and relative error.
+func Section71Intervals(names []string, opt Options) ([]SweepRow, error) {
+	sizes := []struct {
+		label string
+		insts uint64
+	}{
+		{"100M", workload.IntervalInsts},
+		{"50M", workload.IntervalInsts / 2},
+		{"10M", workload.IntervalInsts / 10},
+	}
+	var out []SweepRow
+	for _, name := range names {
+		for _, sz := range sizes {
+			o := opt
+			o.IntervalInsts = sz.insts
+			// Keep the same simulated length; more, shorter vectors.
+			res, err := Analyze(name, o)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, SweepRow{
+				Label:   sz.label,
+				Name:    name,
+				CPIVar:  res.CPIVariance,
+				REOpt:   res.CV.REOpt,
+				MeanCPI: res.MeanCPI,
+			})
+		}
+	}
+	return out, nil
+}
+
+// Section71Machines sweeps the machine model (Itanium 2 vs Pentium 4 vs
+// Xeon): the paper reports higher CPI variance on the P4-class machines
+// but broadly unchanged quadrant structure.
+func Section71Machines(names []string, opt Options) ([]SweepRow, error) {
+	machines := []cpu.Config{cpu.Itanium2(), cpu.PentiumIV(), cpu.Xeon()}
+	var out []SweepRow
+	for _, name := range names {
+		for _, m := range machines {
+			o := opt
+			o.Machine = m
+			res, err := Analyze(name, o)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, SweepRow{
+				Label:   m.Name,
+				Name:    name,
+				CPIVar:  res.CPIVariance,
+				REOpt:   res.CV.REOpt,
+				MeanCPI: res.MeanCPI,
+			})
+		}
+	}
+	return out, nil
+}

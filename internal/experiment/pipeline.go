@@ -1,0 +1,213 @@
+// Package experiment wires the full paper pipeline together — workload →
+// simulated machine → sampling profiler → EIPVs → regression-tree
+// cross-validation → quadrant classification — and regenerates every table
+// and figure of the paper's evaluation (the per-figure constructors live in
+// figures.go; text rendering in render.go).
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+	"repro/internal/cpu"
+	"repro/internal/eipv"
+	"repro/internal/kmeans"
+	"repro/internal/profiler"
+	"repro/internal/quadrant"
+	"repro/internal/rtree"
+	"repro/internal/workload"
+	_ "repro/internal/workload/all" // register every workload
+)
+
+// Options parameterize one analysis run.
+type Options struct {
+	// Intervals is the number of EIPV intervals to simulate (including
+	// warmup). Zero means DefaultIntervals.
+	Intervals int
+	// Warmup is how many leading intervals to discard (cold caches and
+	// pools; the paper analyzes steady-state windows). Zero means
+	// DefaultWarmup; negative means none.
+	Warmup int
+	// Machine is the CPU model (zero value: Itanium 2).
+	Machine cpu.Config
+	// Seed fixes all randomness.
+	Seed uint64
+	// IntervalInsts overrides the EIPV interval length (zero: the paper's
+	// 100M-equivalent). Used by the §7.1 interval sweep.
+	IntervalInsts uint64
+	// PeriodOverride overrides the profiler period (zero: workload
+	// preference).
+	PeriodOverride uint64
+	// ThreadSeparated builds per-thread EIPVs (§5.2).
+	ThreadSeparated bool
+	// MaxLeaves caps the tree size (zero: the paper's 50).
+	MaxLeaves int
+	// Folds for cross-validation (zero: the paper's 10).
+	Folds int
+}
+
+// Defaults for Options.
+const (
+	DefaultIntervals = 320
+	DefaultWarmup    = 10
+	DefaultMaxLeaves = 50
+	DefaultFolds     = 10
+)
+
+func (o Options) withDefaults() Options {
+	if o.Intervals == 0 {
+		o.Intervals = DefaultIntervals
+	}
+	if o.Warmup == 0 {
+		o.Warmup = DefaultWarmup
+	}
+	if o.Warmup < 0 {
+		o.Warmup = 0
+	}
+	if o.Machine.Name == "" {
+		o.Machine = cpu.Itanium2()
+	}
+	if o.IntervalInsts == 0 {
+		o.IntervalInsts = workload.IntervalInsts
+	}
+	if o.MaxLeaves == 0 {
+		o.MaxLeaves = DefaultMaxLeaves
+	}
+	if o.Folds == 0 {
+		o.Folds = DefaultFolds
+	}
+	return o
+}
+
+// Result is the complete analysis of one workload.
+type Result struct {
+	Name    string
+	Machine string
+
+	// The quadrant coordinates (§7): interval-CPI variance and the
+	// regression tree's cross-validated relative error.
+	CPIVariance float64
+	CV          rtree.CVResult
+	Quadrant    quadrant.Quadrant
+
+	MeanCPI    float64
+	UniqueEIPs int
+	Intervals  int
+
+	// Breakdown is the run's mean CPI decomposition (work, fe, exe,
+	// other).
+	Breakdown [4]float64
+
+	// OSFraction and switch statistics (§5.2 context).
+	OSFraction     float64
+	SwitchesPerSec float64
+	ModeledSeconds float64
+
+	// Set retains the steady-state EIPVs for downstream analyses
+	// (sampling evaluation, k-means comparison, figures).
+	Set *eipv.Set
+	// Profile retains the raw samples (spread figures).
+	Profile *profiler.Profile
+	// Space maps EIPs back to named code regions.
+	Space *addr.Space
+}
+
+// LabelEIP names the code region containing pc ("db.sort+0x40"), falling
+// back to the raw address.
+func (r *Result) LabelEIP(pc uint64) string {
+	if r.Space != nil {
+		if reg, ok := r.Space.Find(pc); ok {
+			return fmt.Sprintf("%s+%#x", reg.Name, pc-reg.Base)
+		}
+	}
+	return fmt.Sprintf("%#x", pc)
+}
+
+// Dataset converts the steady-state EIPVs to a regression-tree dataset.
+func Dataset(s *eipv.Set) rtree.Dataset {
+	data := make(rtree.Dataset, len(s.Vectors))
+	for i := range s.Vectors {
+		data[i] = rtree.Point{Counts: s.Vectors[i].Counts, Y: s.Vectors[i].CPI}
+	}
+	return data
+}
+
+// Vectors converts the steady-state EIPVs to k-means vectors.
+func Vectors(s *eipv.Set) []kmeans.Vector {
+	out := make([]kmeans.Vector, len(s.Vectors))
+	for i := range s.Vectors {
+		out[i] = kmeans.Vector(s.Vectors[i].Counts)
+	}
+	return out
+}
+
+// buildEIPVs converts a collection into its steady-state EIPV set
+// according to opt (whole-system or thread-separated, warmup-trimmed).
+// opt must already carry defaults.
+func buildEIPVs(col *profiler.CollectResult, opt Options) *eipv.Set {
+	if opt.ThreadSeparated {
+		// Trim warmup on the global timeline, then cut per-thread
+		// vectors; skipping whole per-thread vectors would discard most
+		// of a many-threaded run.
+		trimmed := col.Profile.After(uint64(opt.Warmup) * opt.IntervalInsts)
+		return eipv.BuildPerThread(trimmed, opt.IntervalInsts)
+	}
+	set := eipv.Build(col.Profile, opt.IntervalInsts)
+	return set.SkipWarmup(opt.Warmup)
+}
+
+// Analyze runs the full pipeline for a registered workload name.
+func Analyze(name string, opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	col, err := profiler.CollectByName(name, profiler.CollectOptions{
+		Machine:        opt.Machine,
+		Seed:           opt.Seed,
+		Intervals:      opt.Intervals,
+		PeriodOverride: opt.PeriodOverride,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	set := buildEIPVs(col, opt)
+	if len(set.Vectors) < opt.Folds*2 {
+		return nil, fmt.Errorf("experiment: %s produced only %d steady-state EIPVs", name, len(set.Vectors))
+	}
+
+	cv, err := rtree.CrossValidate(Dataset(set), rtree.Options{MaxLeaves: opt.MaxLeaves, MinLeaf: 2}, opt.Folds, opt.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: %s: %w", name, err)
+	}
+
+	res := &Result{
+		Name:        name,
+		Machine:     opt.Machine.Name,
+		CPIVariance: set.CPIVariance(),
+		CV:          cv,
+		MeanCPI:     set.MeanCPI(),
+		UniqueEIPs:  set.UniqueEIPs(),
+		Intervals:   len(set.Vectors),
+		Set:         set,
+		Profile:     col.Profile,
+		Space:       col.Space,
+	}
+	res.Quadrant = quadrant.Classify(res.CPIVariance, cv.REOpt)
+
+	// Mean breakdown over steady-state vectors.
+	for _, v := range set.Vectors {
+		res.Breakdown[0] += v.Work
+		res.Breakdown[1] += v.FE
+		res.Breakdown[2] += v.EXE
+		res.Breakdown[3] += v.Other
+	}
+	for i := range res.Breakdown {
+		res.Breakdown[i] /= float64(len(set.Vectors))
+	}
+
+	res.OSFraction = col.OS.OSFraction()
+	res.ModeledSeconds = col.Seconds
+	if col.Seconds > 0 {
+		res.SwitchesPerSec = float64(col.OS.ContextSwitches) / col.Seconds
+	}
+	return res, nil
+}

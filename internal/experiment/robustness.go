@@ -1,0 +1,74 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/quadrant"
+)
+
+// SeedOutcome is one workload's classification across seeds.
+type SeedOutcome struct {
+	Name   string
+	Target string
+	// PerSeed holds the measured quadrant per seed, in seed order.
+	PerSeed []quadrant.Quadrant
+	// Stable reports whether every seed reproduced the target (or, when
+	// no target is known, whether all seeds agree).
+	Stable bool
+}
+
+// SeedRobustness re-classifies each workload under several seeds. The
+// paper's quadrant boundaries are fixed thresholds, so workloads near a
+// boundary could flip with measurement noise (§7.1 discusses exactly this
+// sensitivity); this harness quantifies it.
+func SeedRobustness(names []string, seeds []uint64, opt Options) ([]SeedOutcome, error) {
+	targets := map[string]string{}
+	for _, r := range Table2Workloads() {
+		targets[r.Name] = r.Target
+	}
+	var out []SeedOutcome
+	for _, name := range names {
+		o := SeedOutcome{Name: name, Target: targets[name], Stable: true}
+		for _, seed := range seeds {
+			so := opt
+			so.Seed = seed
+			res, err := Analyze(name, so)
+			if err != nil {
+				return nil, fmt.Errorf("robustness: %s seed %d: %w", name, seed, err)
+			}
+			o.PerSeed = append(o.PerSeed, res.Quadrant)
+		}
+		for _, q := range o.PerSeed {
+			if o.Target != "" {
+				if q.String() != o.Target {
+					o.Stable = false
+				}
+			} else if q != o.PerSeed[0] {
+				o.Stable = false
+			}
+		}
+		out = append(out, o)
+	}
+	return out, nil
+}
+
+// RenderSeedRobustness writes the per-seed classification table.
+func RenderSeedRobustness(w io.Writer, rows []SeedOutcome, seeds []uint64) {
+	fmt.Fprintf(w, "%-14s %-6s", "benchmark", "paper")
+	for _, s := range seeds {
+		fmt.Fprintf(w, " seed=%-4d", s)
+	}
+	fmt.Fprintf(w, " %s\n", "stable")
+	for _, r := range rows {
+		target := r.Target
+		if target == "" {
+			target = "-"
+		}
+		fmt.Fprintf(w, "%-14s %-6s", r.Name, target)
+		for _, q := range r.PerSeed {
+			fmt.Fprintf(w, " %-9s", q)
+		}
+		fmt.Fprintf(w, " %v\n", r.Stable)
+	}
+}

@@ -1,0 +1,124 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/sampling"
+)
+
+func TestSection46Shape(t *testing.T) {
+	rows, err := Section46([]string{"spec.gzip", "spec.mcf"}, fast())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.TreeRE < 0 || r.KMeans < 0 {
+			t.Fatalf("negative RE in %+v", r)
+		}
+		if r.KMeansK < 1 || r.KMeansK > 50 {
+			t.Fatalf("kmeans k %d out of range", r.KMeansK)
+		}
+		// The in-sample tree at its predictability-minimizing k must not
+		// lose to the honest cross-validated number.
+		if r.TreeRE > r.TreeCV+1e-9 {
+			t.Fatalf("in-sample RE %.3f above CV RE %.3f", r.TreeRE, r.TreeCV)
+		}
+	}
+	// On phase-structured workloads trees should beat CPI-blind k-means —
+	// except in the memorization regime, where this reduced-scale run has
+	// so few points that 50 clusters fit anything (the full-scale §4.6
+	// comparison lives in BenchmarkSection46TreeVsKMeans and
+	// EXPERIMENTS.md).
+	for _, r := range rows {
+		if r.Improvement <= 0 && r.KMeans > 0.1 {
+			t.Errorf("%s: trees did not beat k-means (%.3f vs %.3f)", r.Name, r.TreeRE, r.KMeans)
+		}
+	}
+}
+
+func TestSection7SamplingShape(t *testing.T) {
+	rows, err := Section7Sampling([]string{"spec.gzip", "spec.mcf"}, 6, fast())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if len(r.Evals) != 4 {
+			t.Fatalf("%s: %d techniques evaluated", r.Name, len(r.Evals))
+		}
+		for _, e := range r.Evals {
+			if e.RelErr < 0 || e.TrueMean <= 0 {
+				t.Fatalf("%s/%s: bad eval %+v", r.Name, e.Technique, e)
+			}
+		}
+		if r.RequiredFor2Pct < 2 {
+			t.Fatalf("%s: advisor returned %d", r.Name, r.RequiredFor2Pct)
+		}
+	}
+	// mcf (Q-IV at full scale; phase-heavy even here) should need far
+	// more random samples for 2% than gzip.
+	if rows[1].RequiredFor2Pct <= rows[0].RequiredFor2Pct {
+		t.Fatalf("advisor ordering: gzip %d vs mcf %d",
+			rows[0].RequiredFor2Pct, rows[1].RequiredFor2Pct)
+	}
+	var buf bytes.Buffer
+	RenderSampling(&buf, rows)
+	if !strings.Contains(buf.String(), "n@2%") {
+		t.Fatal("render missing advisor column")
+	}
+}
+
+func TestSection71IntervalsShape(t *testing.T) {
+	rows, err := Section71Intervals([]string{"spec.mcf"}, fast())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	labels := map[string]float64{}
+	for _, r := range rows {
+		labels[r.Label] = r.CPIVar
+	}
+	// The §7.1 direction: variance grows as intervals shrink.
+	if !(labels["10M"] > labels["100M"]) {
+		t.Fatalf("variance did not grow with finer intervals: %v", labels)
+	}
+}
+
+func TestSection71MachinesShape(t *testing.T) {
+	rows, err := Section71Machines([]string{"spec.mcf"}, fast())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byMachine := map[string]SweepRow{}
+	for _, r := range rows {
+		byMachine[r.Label] = r
+	}
+	// The §7.1 cross-check: P4-class machines (no L3) show higher CPI and
+	// higher variance than the Itanium 2 model.
+	if byMachine["pentium4"].MeanCPI <= byMachine["itanium2"].MeanCPI {
+		t.Fatalf("P4 CPI %.2f not above Itanium2 %.2f",
+			byMachine["pentium4"].MeanCPI, byMachine["itanium2"].MeanCPI)
+	}
+	if byMachine["pentium4"].CPIVar <= byMachine["itanium2"].CPIVar {
+		t.Fatalf("P4 variance %.3f not above Itanium2 %.3f",
+			byMachine["pentium4"].CPIVar, byMachine["itanium2"].CPIVar)
+	}
+}
+
+func TestQuadrantRecommendationConsistency(t *testing.T) {
+	// Whatever quadrant a workload lands in, the recommendation table
+	// must agree with the quadrant package.
+	rows, err := Section7Sampling([]string{"spec.twolf"}, 4, fast())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].Recommend != sampling.Uniform {
+		t.Fatalf("twolf (Q-I) recommended %s", rows[0].Recommend)
+	}
+}

@@ -1,0 +1,109 @@
+package osim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/addr"
+	"repro/internal/cpu"
+	"repro/internal/xrand"
+)
+
+// chaosRunner emits a random mix of every action the scheduler supports,
+// including pathological patterns (immediate re-blocks, zero-ish waits,
+// early completion).
+type chaosRunner struct {
+	rng  *xrand.Rand
+	pc   uint64
+	left int
+}
+
+func (c *chaosRunner) Step(ev *cpu.BlockEvent) (Action, uint64) {
+	if c.left <= 0 {
+		return ActionDone, 0
+	}
+	c.left--
+	switch c.rng.Intn(10) {
+	case 0:
+		return ActionBlock, uint64(c.rng.Intn(5000)) + 1
+	case 1:
+		return ActionYield, 0
+	case 2:
+		return ActionBlock, 1 // near-immediate wakeup
+	default:
+		ev.PC = c.pc + uint64(c.rng.Intn(64))*64
+		ev.Insts = 1 + c.rng.Intn(30)
+		ev.BaseCPI = 0.3 + c.rng.Float64()
+		if c.rng.Bool(0.3) {
+			ev.AddMem(0x100000000+c.rng.Uint64()%(1<<24), c.rng.Bool(0.5))
+		}
+		ev.HasBranch = c.rng.Bool(0.5)
+		ev.Taken = c.rng.Bool(0.5)
+		return ActionRun, 0
+	}
+}
+
+// TestSchedulerSurvivesChaos drives the scheduler with adversarial thread
+// behaviour and checks its invariants: it terminates, never over-runs the
+// budget by more than one block, keeps counters consistent, and the
+// observer sees exactly the retired stream.
+func TestSchedulerSurvivesChaos(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		core := cpu.New(cpu.Itanium2())
+		space := addr.NewSpace()
+		s := New(core, space, Config{
+			TimeSliceInsts:       uint64(100 + rng.Intn(4000)),
+			SwitchPollution:      rng.Float64() * 0.3,
+			KernelInstsPerSwitch: rng.Intn(200),
+			KernelInstsPerIO:     rng.Intn(200),
+		})
+		n := 1 + rng.Intn(6)
+		for i := 0; i < n; i++ {
+			s.Add("chaos", &chaosRunner{rng: rng.Split(uint64(i)), pc: 0x400000 + uint64(i)*0x10000, left: 200 + rng.Intn(2000)})
+		}
+		var observed uint64
+		budget := uint64(5000 + rng.Intn(400000))
+		st := s.Run(budget, func(ev *cpu.BlockEvent) { observed += uint64(ev.Insts) })
+		ctr := core.Counters()
+		if observed != ctr.Insts {
+			return false
+		}
+		// Overshoot is bounded by one user block plus one kernel I/O path.
+		if ctr.Insts > budget+512 {
+			return false
+		}
+		if ctr.Cycles != ctr.WorkCycles+ctr.FECycles+ctr.EXECycles+ctr.OtherCycles {
+			return false
+		}
+		if frac := st.OSFraction(); frac < 0 || frac > 1 {
+			return false
+		}
+		if st.KernelInsts+st.UserInsts != ctr.Insts {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSchedulerDeterministicUnderChaos ensures the chaotic runs are still
+// reproducible for a fixed seed.
+func TestSchedulerDeterministicUnderChaos(t *testing.T) {
+	run := func() cpu.Counters {
+		rng := xrand.New(77)
+		core := cpu.New(cpu.Itanium2())
+		space := addr.NewSpace()
+		s := New(core, space, DefaultConfig())
+		for i := 0; i < 4; i++ {
+			s.Add("chaos", &chaosRunner{rng: rng.Split(uint64(i)), pc: 0x400000 + uint64(i)*0x10000, left: 3000})
+		}
+		s.Run(200000, nil)
+		return core.Counters()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("chaotic run not reproducible:\n%+v\n%+v", a, b)
+	}
+}

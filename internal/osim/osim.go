@@ -1,0 +1,327 @@
+// Package osim models the operating-system layer of the simulated machine:
+// threads, a round-robin scheduler with time slices, voluntary blocking on
+// I/O, and the kernel-mode execution that the paper's whole-system profiler
+// observes alongside user code (§5.2).
+//
+// The scheduler serializes all simulated threads onto one modeled core (the
+// paper's analysis is of a single sampled retirement stream). Context
+// switches have two costs, both of which matter to the reproduced results:
+// the kernel scheduling code itself retires instructions at kernel EIPs
+// (producing the ~15% OS time of ODB-C), and the switch pollutes the
+// caches, raising the CPI of whatever runs next.
+package osim
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+	"repro/internal/cpu"
+)
+
+// Action is a thread's response to being stepped.
+type Action int
+
+// Thread step outcomes.
+const (
+	// ActionRun means the event was filled and should retire.
+	ActionRun Action = iota
+	// ActionBlock means the thread performs I/O and sleeps for the
+	// returned number of cycles. The event is not retired.
+	ActionBlock
+	// ActionYield relinquishes the CPU without blocking.
+	ActionYield
+	// ActionDone means the thread has finished for good.
+	ActionDone
+)
+
+// Runner generates a thread's execution, one basic block at a time.
+//
+// Step fills ev and returns ActionRun, or returns a scheduling action
+// (ev is ignored for non-Run actions). wait is only meaningful for
+// ActionBlock.
+type Runner interface {
+	Step(ev *cpu.BlockEvent) (act Action, wait uint64)
+}
+
+// RunnerFunc adapts a function to the Runner interface.
+type RunnerFunc func(ev *cpu.BlockEvent) (Action, uint64)
+
+// Step implements Runner.
+func (f RunnerFunc) Step(ev *cpu.BlockEvent) (Action, uint64) { return f(ev) }
+
+// Config tunes the scheduler.
+type Config struct {
+	// TimeSliceInsts is the round-robin quantum in retired instructions.
+	TimeSliceInsts uint64
+
+	// SwitchPollution is the fraction of cache lines invalidated per
+	// context switch (coarse model of the interloper's footprint).
+	SwitchPollution float64
+
+	// KernelInstsPerSwitch is how many kernel instructions the scheduler
+	// path retires per context switch.
+	KernelInstsPerSwitch int
+
+	// KernelInstsPerIO is how many kernel instructions the I/O submission
+	// and completion paths retire per blocking call.
+	KernelInstsPerIO int
+}
+
+// DefaultConfig returns scheduler parameters that, combined with the
+// workload models, land the OS-time and context-switch-rate statistics in
+// the ranges the paper reports.
+func DefaultConfig() Config {
+	return Config{
+		TimeSliceInsts:       4000,
+		SwitchPollution:      0.06,
+		KernelInstsPerSwitch: 48,
+		KernelInstsPerIO:     64,
+	}
+}
+
+// Stats reports scheduler activity over a run.
+type Stats struct {
+	ContextSwitches uint64 // all switches of the running thread
+	Voluntary       uint64 // due to blocking or yielding
+	Involuntary     uint64 // due to time-slice expiry
+	KernelInsts     uint64 // instructions retired at kernel EIPs
+	UserInsts       uint64 // instructions retired at user EIPs
+	IdleCycles      uint64 // cycles with no runnable thread
+	IOWaits         uint64 // blocking calls issued
+}
+
+// OSFraction returns the fraction of retired instructions spent in the
+// kernel.
+func (s Stats) OSFraction() float64 {
+	t := s.KernelInsts + s.UserInsts
+	if t == 0 {
+		return 0
+	}
+	return float64(s.KernelInsts) / float64(t)
+}
+
+type threadState int
+
+const (
+	stateReady threadState = iota
+	stateBlocked
+	stateDone
+)
+
+type thread struct {
+	id     int
+	name   string
+	runner Runner
+	state  threadState
+	wakeAt uint64 // simulated time (cycles) when a blocked thread becomes ready
+	insts  uint64 // retired instructions attributed to this thread
+}
+
+// Sched is the scheduler. It owns the retirement loop: workload threads
+// are registered with Add, and Run drives them against the core until an
+// instruction budget is exhausted.
+type Sched struct {
+	cfg     Config
+	core    *cpu.Core
+	threads []*thread
+	next    int // round-robin cursor
+
+	kernSched addr.Region
+	kernIO    addr.Region
+	kernWalk  uint64
+
+	stats Stats
+	idle  uint64 // accumulated idle cycles (kept out of core counters)
+}
+
+// New builds a scheduler over core. Kernel code regions are allocated from
+// space so that kernel EIPs are attributable (addr.IsKernel).
+func New(core *cpu.Core, space *addr.Space, cfg Config) *Sched {
+	if cfg.TimeSliceInsts == 0 {
+		cfg.TimeSliceInsts = DefaultConfig().TimeSliceInsts
+	}
+	return &Sched{
+		cfg:       cfg,
+		core:      core,
+		kernSched: space.AllocKernelCode("kernel.sched", 96<<10),
+		kernIO:    space.AllocKernelCode("kernel.io", 128<<10),
+	}
+}
+
+// Add registers a thread and returns its id. Threads added after Run has
+// started are picked up on the next scheduling decision.
+func (s *Sched) Add(name string, r Runner) int {
+	id := len(s.threads)
+	s.threads = append(s.threads, &thread{id: id, name: name, runner: r, state: stateReady})
+	return id
+}
+
+// Stats returns the accumulated scheduler statistics.
+func (s *Sched) Stats() Stats { return s.stats }
+
+// ThreadInsts returns per-thread retired instruction counts, indexed by id.
+func (s *Sched) ThreadInsts() []uint64 {
+	out := make([]uint64, len(s.threads))
+	for i, t := range s.threads {
+		out[i] = t.insts
+	}
+	return out
+}
+
+// Now returns simulated time in cycles (core cycles plus idle time).
+func (s *Sched) Now() uint64 { return s.core.Counters().Cycles + s.idle }
+
+// Run executes threads round-robin until maxInsts instructions have
+// retired or every thread is done. observe, if non-nil, is invoked after
+// every retired block (the profiler's hook). It returns the stats so far.
+func (s *Sched) Run(maxInsts uint64, observe func(ev *cpu.BlockEvent)) Stats {
+	var ev cpu.BlockEvent
+	budget := func() bool { return s.core.Counters().Insts < maxInsts }
+
+	cur := s.pickReady()
+	for budget() {
+		if cur == nil {
+			// Nothing runnable: advance time to the earliest wakeup.
+			wake, ok := s.earliestWake()
+			if !ok {
+				break // all threads done
+			}
+			if now := s.Now(); wake > now {
+				d := wake - now
+				s.idle += d
+				s.stats.IdleCycles += d
+			}
+			s.wakeup()
+			cur = s.pickReady()
+			continue
+		}
+
+		sliceLeft := s.cfg.TimeSliceInsts
+		switched := false
+		for budget() && sliceLeft > 0 {
+			ev.Reset()
+			act, wait := cur.runner.Step(&ev)
+			switch act {
+			case ActionRun:
+				ev.Thread = cur.id
+				s.retire(&ev, cur, observe)
+				if uint64(ev.Insts) >= sliceLeft {
+					sliceLeft = 0
+				} else {
+					sliceLeft -= uint64(ev.Insts)
+				}
+			case ActionBlock:
+				s.stats.IOWaits++
+				s.runKernel(s.kernIO, s.cfg.KernelInstsPerIO, cur, observe)
+				cur.state = stateBlocked
+				cur.wakeAt = s.Now() + wait
+				s.stats.Voluntary++
+				switched = true
+			case ActionYield:
+				s.stats.Voluntary++
+				switched = true
+			case ActionDone:
+				cur.state = stateDone
+				s.stats.Voluntary++
+				switched = true
+			default:
+				panic(fmt.Sprintf("osim: invalid action %d", act))
+			}
+			if switched {
+				break
+			}
+		}
+		if !budget() {
+			break
+		}
+		if !switched {
+			s.stats.Involuntary++
+		}
+
+		s.wakeup()
+		next := s.pickReady()
+		if next != nil && next != cur {
+			s.contextSwitch(next, observe)
+		}
+		cur = next
+	}
+	return s.stats
+}
+
+// retire sends the event to the core and the observer, attributing
+// instructions to the thread and to user/kernel mode.
+func (s *Sched) retire(ev *cpu.BlockEvent, t *thread, observe func(*cpu.BlockEvent)) {
+	s.core.Retire(ev)
+	t.insts += uint64(ev.Insts)
+	if addr.IsKernel(ev.PC) {
+		s.stats.KernelInsts += uint64(ev.Insts)
+	} else {
+		s.stats.UserInsts += uint64(ev.Insts)
+	}
+	if observe != nil {
+		observe(ev)
+	}
+}
+
+// runKernel retires ~insts instructions of kernel code from region on
+// behalf of thread t, walking distinct kernel blocks so kernel EIPs show a
+// realistic spread in the profile.
+func (s *Sched) runKernel(region addr.Region, insts int, t *thread, observe func(*cpu.BlockEvent)) {
+	var ev cpu.BlockEvent
+	const blockInsts = 16
+	for done := 0; done < insts; done += blockInsts {
+		ev.Reset()
+		s.kernWalk = s.kernWalk*6364136223846793005 + 1442695040888963407
+		off := (s.kernWalk >> 33) % (region.Size / 64)
+		ev.PC = region.Base + off*64
+		ev.Thread = t.id
+		ev.Insts = blockInsts
+		ev.BaseCPI = 0.8 // kernel code: low ILP, pointer chasing
+		ev.HasBranch = true
+		ev.Taken = s.kernWalk&1 == 0
+		s.retire(&ev, t, observe)
+	}
+}
+
+// contextSwitch charges the scheduler path and cache pollution.
+func (s *Sched) contextSwitch(to *thread, observe func(*cpu.BlockEvent)) {
+	s.stats.ContextSwitches++
+	s.runKernel(s.kernSched, s.cfg.KernelInstsPerSwitch, to, observe)
+	s.core.ContextSwitch(s.cfg.SwitchPollution)
+}
+
+// wakeup moves blocked threads whose deadline has passed to ready.
+func (s *Sched) wakeup() {
+	now := s.Now()
+	for _, t := range s.threads {
+		if t.state == stateBlocked && t.wakeAt <= now {
+			t.state = stateReady
+		}
+	}
+}
+
+// pickReady returns the next ready thread in round-robin order, or nil.
+func (s *Sched) pickReady() *thread {
+	n := len(s.threads)
+	for i := 0; i < n; i++ {
+		t := s.threads[(s.next+i)%n]
+		if t.state == stateReady {
+			s.next = (t.id + 1) % n
+			return t
+		}
+	}
+	return nil
+}
+
+// earliestWake returns the soonest wakeup time among blocked threads.
+func (s *Sched) earliestWake() (uint64, bool) {
+	var best uint64
+	found := false
+	for _, t := range s.threads {
+		if t.state == stateBlocked && (!found || t.wakeAt < best) {
+			best = t.wakeAt
+			found = true
+		}
+	}
+	return best, found
+}

@@ -1,0 +1,241 @@
+package osim
+
+import (
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/cpu"
+)
+
+// loopRunner emits an endless stream of identical user blocks.
+type loopRunner struct {
+	pc    uint64
+	insts int
+}
+
+func (l *loopRunner) Step(ev *cpu.BlockEvent) (Action, uint64) {
+	ev.PC = l.pc
+	ev.Insts = l.insts
+	ev.BaseCPI = 0.5
+	return ActionRun, 0
+}
+
+// finiteRunner runs n blocks then finishes.
+type finiteRunner struct {
+	pc   uint64
+	left int
+}
+
+func (f *finiteRunner) Step(ev *cpu.BlockEvent) (Action, uint64) {
+	if f.left <= 0 {
+		return ActionDone, 0
+	}
+	f.left--
+	ev.PC = f.pc
+	ev.Insts = 10
+	ev.BaseCPI = 0.5
+	return ActionRun, 0
+}
+
+// ioRunner alternates compute blocks with blocking I/O.
+type ioRunner struct {
+	pc      uint64
+	period  int
+	wait    uint64
+	i       int
+	blocked int
+}
+
+func (r *ioRunner) Step(ev *cpu.BlockEvent) (Action, uint64) {
+	r.i++
+	if r.i%r.period == 0 {
+		r.blocked++
+		return ActionBlock, r.wait
+	}
+	ev.PC = r.pc
+	ev.Insts = 10
+	ev.BaseCPI = 0.5
+	return ActionRun, 0
+}
+
+func newSched(cfg Config) (*Sched, *cpu.Core) {
+	core := cpu.New(cpu.Itanium2())
+	space := addr.NewSpace()
+	return New(core, space, cfg), core
+}
+
+func TestRunRespectsBudget(t *testing.T) {
+	s, core := newSched(DefaultConfig())
+	s.Add("a", &loopRunner{pc: 0x400000, insts: 10})
+	s.Run(10000, nil)
+	got := core.Counters().Insts
+	if got < 10000 || got > 10500 {
+		t.Fatalf("retired %d, want ~10000", got)
+	}
+}
+
+func TestFiniteThreadsTerminate(t *testing.T) {
+	s, core := newSched(DefaultConfig())
+	s.Add("a", &finiteRunner{pc: 0x400000, left: 50})
+	s.Add("b", &finiteRunner{pc: 0x401000, left: 50})
+	s.Run(1<<40, nil) // huge budget: must stop when threads finish
+	if core.Counters().Insts == 0 {
+		t.Fatal("nothing retired")
+	}
+	insts := s.ThreadInsts()
+	if insts[0] == 0 || insts[1] == 0 {
+		t.Fatalf("thread attribution missing: %v", insts)
+	}
+}
+
+func TestRoundRobinShares(t *testing.T) {
+	s, _ := newSched(DefaultConfig())
+	s.Add("a", &loopRunner{pc: 0x400000, insts: 10})
+	s.Add("b", &loopRunner{pc: 0x401000, insts: 10})
+	s.Run(200000, nil)
+	insts := s.ThreadInsts()
+	ratio := float64(insts[0]) / float64(insts[1])
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Fatalf("unfair round robin: %v", insts)
+	}
+}
+
+func TestContextSwitchesCounted(t *testing.T) {
+	s, _ := newSched(DefaultConfig())
+	s.Add("a", &loopRunner{pc: 0x400000, insts: 10})
+	s.Add("b", &loopRunner{pc: 0x401000, insts: 10})
+	st := s.Run(100000, nil)
+	if st.ContextSwitches == 0 {
+		t.Fatal("no context switches with two CPU-bound threads")
+	}
+	if st.Involuntary == 0 {
+		t.Fatal("no involuntary switches despite slice expiry")
+	}
+}
+
+func TestKernelTimeAccounted(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TimeSliceInsts = 500 // switch often to inflate OS time
+	s, _ := newSched(cfg)
+	s.Add("a", &loopRunner{pc: 0x400000, insts: 10})
+	s.Add("b", &loopRunner{pc: 0x401000, insts: 10})
+	st := s.Run(200000, nil)
+	if st.KernelInsts == 0 {
+		t.Fatal("no kernel instructions")
+	}
+	frac := st.OSFraction()
+	if frac < 0.05 || frac > 0.6 {
+		t.Fatalf("OS fraction %v outside plausible band", frac)
+	}
+}
+
+func TestKernelEIPsAreKernel(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TimeSliceInsts = 500
+	s, _ := newSched(cfg)
+	s.Add("a", &loopRunner{pc: 0x400000, insts: 10})
+	s.Add("b", &loopRunner{pc: 0x401000, insts: 10})
+	sawKernel, sawUser := false, false
+	misattributed := 0
+	s.Run(100000, func(ev *cpu.BlockEvent) {
+		if addr.IsKernel(ev.PC) {
+			sawKernel = true
+		} else {
+			sawUser = true
+			if ev.PC != 0x400000 && ev.PC != 0x401000 {
+				misattributed++
+			}
+		}
+	})
+	if !sawKernel || !sawUser {
+		t.Fatalf("kernel=%v user=%v", sawKernel, sawUser)
+	}
+	if misattributed > 0 {
+		t.Fatalf("%d user events at unexpected PCs", misattributed)
+	}
+}
+
+func TestBlockingAndWakeup(t *testing.T) {
+	s, _ := newSched(DefaultConfig())
+	r := &ioRunner{pc: 0x400000, period: 20, wait: 5000}
+	s.Add("io", r)
+	s.Add("cpu", &loopRunner{pc: 0x401000, insts: 10})
+	st := s.Run(300000, nil)
+	if st.IOWaits == 0 {
+		t.Fatal("no I/O waits recorded")
+	}
+	insts := s.ThreadInsts()
+	if insts[0] == 0 {
+		t.Fatal("blocked thread never ran again after wakeup")
+	}
+	if insts[1] < insts[0] {
+		t.Fatalf("CPU-bound thread (%d) ran less than I/O-bound (%d)", insts[1], insts[0])
+	}
+}
+
+func TestAllBlockedAdvancesIdleTime(t *testing.T) {
+	s, _ := newSched(DefaultConfig())
+	s.Add("io", &ioRunner{pc: 0x400000, period: 5, wait: 100000})
+	st := s.Run(50000, nil)
+	if st.IdleCycles == 0 {
+		t.Fatal("single blocking thread produced no idle time")
+	}
+	if st.IOWaits < 2 {
+		t.Fatalf("thread did not resume after idle: %d waits", st.IOWaits)
+	}
+}
+
+func TestYield(t *testing.T) {
+	yields := 0
+	r := RunnerFunc(func(ev *cpu.BlockEvent) (Action, uint64) {
+		yields++
+		if yields%2 == 0 {
+			return ActionYield, 0
+		}
+		ev.PC = 0x400000
+		ev.Insts = 10
+		ev.BaseCPI = 0.5
+		return ActionRun, 0
+	})
+	s, _ := newSched(DefaultConfig())
+	s.Add("y", r)
+	st := s.Run(5000, nil)
+	if st.Voluntary == 0 {
+		t.Fatal("yields not counted as voluntary switches")
+	}
+}
+
+func TestObserverSeesEveryRetire(t *testing.T) {
+	s, core := newSched(DefaultConfig())
+	s.Add("a", &loopRunner{pc: 0x400000, insts: 10})
+	var observed uint64
+	s.Run(20000, func(ev *cpu.BlockEvent) { observed += uint64(ev.Insts) })
+	if got := core.Counters().Insts; observed != got {
+		t.Fatalf("observer saw %d insts, core retired %d", observed, got)
+	}
+}
+
+func TestNoThreads(t *testing.T) {
+	s, core := newSched(DefaultConfig())
+	st := s.Run(1000, nil)
+	if core.Counters().Insts != 0 || st.ContextSwitches != 0 {
+		t.Fatal("empty scheduler did work")
+	}
+}
+
+func TestThreadAttributionOnSamples(t *testing.T) {
+	s, _ := newSched(DefaultConfig())
+	a := s.Add("a", &loopRunner{pc: 0x400000, insts: 10})
+	b := s.Add("b", &loopRunner{pc: 0x401000, insts: 10})
+	wrong := 0
+	s.Run(50000, func(ev *cpu.BlockEvent) {
+		if !addr.IsKernel(ev.PC) {
+			if (ev.PC == 0x400000 && ev.Thread != a) || (ev.PC == 0x401000 && ev.Thread != b) {
+				wrong++
+			}
+		}
+	})
+	if wrong > 0 {
+		t.Fatalf("%d events with wrong thread attribution", wrong)
+	}
+}

@@ -1,0 +1,240 @@
+// Package profiler implements the VTune-like sampling driver (§3.1): it
+// interrupts the simulated machine every N retired instructions and
+// records the EIP at the point of interruption together with the event
+// counter totals (cycles, instructions, stall components).
+//
+// Like the paper's setup, the sampler observes the whole system — user and
+// kernel EIPs of every thread — and tags each sample with the thread that
+// produced it, which is what makes the §5.2 thread-separation experiment
+// possible.
+package profiler
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+	"repro/internal/cpu"
+	"repro/internal/osim"
+	"repro/internal/workload"
+)
+
+// Sample is one profiler interrupt record.
+type Sample struct {
+	EIP    uint64
+	Thread int
+	Kernel bool
+	// Counters is the cumulative event-counter snapshot at the interrupt.
+	Counters cpu.Counters
+}
+
+// Profile is a complete sampling run.
+type Profile struct {
+	Workload string
+	Machine  string
+	Period   uint64 // sampling period in instructions
+	Samples  []Sample
+}
+
+// UniqueEIPs returns the number of distinct sampled EIPs (the Y-axis
+// population of the paper's EIP spread plots).
+func (p *Profile) UniqueEIPs() int {
+	seen := make(map[uint64]struct{}, len(p.Samples)/2)
+	for i := range p.Samples {
+		seen[p.Samples[i].EIP] = struct{}{}
+	}
+	return len(seen)
+}
+
+// KernelFraction returns the fraction of samples taken in kernel code.
+func (p *Profile) KernelFraction() float64 {
+	if len(p.Samples) == 0 {
+		return 0
+	}
+	k := 0
+	for i := range p.Samples {
+		if p.Samples[i].Kernel {
+			k++
+		}
+	}
+	return float64(k) / float64(len(p.Samples))
+}
+
+// After returns a copy of the profile containing only samples taken at or
+// beyond the given retired-instruction count (steady-state trimming).
+func (p *Profile) After(insts uint64) *Profile {
+	out := &Profile{Workload: p.Workload, Machine: p.Machine, Period: p.Period}
+	for _, s := range p.Samples {
+		if s.Counters.Insts >= insts {
+			out.Samples = append(out.Samples, s)
+		}
+	}
+	return out
+}
+
+// Sampler hooks the scheduler's retirement stream.
+type Sampler struct {
+	core   *cpu.Core
+	period uint64
+	nextAt uint64
+	prof   *Profile
+}
+
+// New creates a sampler over core with the given period (instructions per
+// sample). It panics if period is zero.
+func New(core *cpu.Core, period uint64) *Sampler {
+	if period == 0 {
+		panic("profiler: zero sampling period")
+	}
+	return &Sampler{
+		core:   core,
+		period: period,
+		nextAt: period,
+		prof:   &Profile{Period: period, Machine: core.Config().Name},
+	}
+}
+
+// Observe is the scheduler's per-retirement hook: when the retired
+// instruction count crosses a sampling boundary, the current block's EIP
+// is recorded with the counter totals.
+func (s *Sampler) Observe(ev *cpu.BlockEvent) {
+	ctr := s.core.Counters()
+	for ctr.Insts >= s.nextAt {
+		s.prof.Samples = append(s.prof.Samples, Sample{
+			EIP:      ev.PC,
+			Thread:   ev.Thread,
+			Kernel:   addr.IsKernel(ev.PC),
+			Counters: ctr,
+		})
+		s.nextAt += s.period
+	}
+}
+
+// Profile returns the collected profile.
+func (s *Sampler) Profile() *Profile { return s.prof }
+
+// CollectOptions parameterize a collection run.
+type CollectOptions struct {
+	Machine cpu.Config
+	Seed    uint64
+	// Intervals is the run length in EIPV intervals of workload.IntervalInsts.
+	Intervals int
+	// PeriodOverride, if nonzero, replaces the workload's preferred
+	// sampling period (used by the §7.1 sensitivity sweeps).
+	PeriodOverride uint64
+	// BuildBBV additionally collects *full* basic-block vectors: exact
+	// per-interval execution counts of every block, the information
+	// SimPoint-style tools get from full code instrumentation. The paper
+	// could not collect these on its production systems (§3.3, "a direct
+	// comparison with BBVs is beyond the scope of this paper"); the
+	// simulator sees every retirement, so the comparison the paper defers
+	// becomes possible here.
+	BuildBBV bool
+	// BBVIntervalInsts sizes BBV intervals (0 = workload.IntervalInsts).
+	BBVIntervalInsts uint64
+}
+
+// CollectResult bundles everything a collection run produces.
+type CollectResult struct {
+	Profile  *Profile
+	Counters cpu.Counters
+	OS       osim.Stats
+	Seconds  float64 // modeled wall-clock duration
+	// Space is the simulated address space the run was built in; it maps
+	// sampled EIPs back to named code regions (symbolization).
+	Space *addr.Space
+	// BBV holds the full basic-block vectors when CollectOptions.BuildBBV
+	// was set: one vector of exact block execution counts per interval,
+	// with the interval's exact CPI.
+	BBV []BlockVector
+}
+
+// BlockVector is one interval's exact code-execution histogram.
+type BlockVector struct {
+	Index  int
+	Counts map[uint64]int // block PC -> executions in the interval
+	CPI    float64        // exact interval CPI from counter deltas
+}
+
+// bbvBuilder accumulates full block vectors from the retirement stream.
+type bbvBuilder struct {
+	core     *cpu.Core
+	interval uint64
+	cur      map[uint64]int
+	last     cpu.Counters
+	out      []BlockVector
+}
+
+func (b *bbvBuilder) observe(ev *cpu.BlockEvent) {
+	if b.cur == nil {
+		b.cur = make(map[uint64]int, 4096)
+	}
+	b.cur[ev.PC]++
+	ctr := b.core.Counters()
+	if ctr.Insts-b.last.Insts >= b.interval {
+		d := ctr.Sub(b.last)
+		b.out = append(b.out, BlockVector{Index: len(b.out), Counts: b.cur, CPI: d.CPI()})
+		b.cur = make(map[uint64]int, len(b.cur))
+		b.last = ctr
+	}
+}
+
+// Collect runs the named workload against a fresh simulated machine and
+// returns its profile. It is the one-call entry point the experiments and
+// public API use.
+func Collect(w workload.Workload, opt CollectOptions) (*CollectResult, error) {
+	if opt.Intervals <= 0 {
+		return nil, fmt.Errorf("profiler: Intervals must be positive, got %d", opt.Intervals)
+	}
+	machine := opt.Machine
+	if machine.Name == "" {
+		machine = cpu.Itanium2()
+	}
+	core := cpu.New(machine)
+	space := addr.NewSpace()
+	sched := osim.New(core, space, osim.DefaultConfig())
+	w.Setup(sched, space, opt.Seed)
+
+	period := w.SamplePeriod()
+	if opt.PeriodOverride != 0 {
+		period = opt.PeriodOverride
+	}
+	s := New(core, period)
+	s.prof.Workload = w.Name()
+
+	observe := s.Observe
+	var bbv *bbvBuilder
+	if opt.BuildBBV {
+		ii := opt.BBVIntervalInsts
+		if ii == 0 {
+			ii = workload.IntervalInsts
+		}
+		bbv = &bbvBuilder{core: core, interval: ii}
+		observe = func(ev *cpu.BlockEvent) {
+			s.Observe(ev)
+			bbv.observe(ev)
+		}
+	}
+
+	maxInsts := uint64(opt.Intervals) * workload.IntervalInsts
+	osStats := sched.Run(maxInsts, observe)
+	res := &CollectResult{
+		Profile:  s.Profile(),
+		Counters: core.Counters(),
+		OS:       osStats,
+		Seconds:  workload.Seconds(sched.Now()),
+		Space:    space,
+	}
+	if bbv != nil {
+		res.BBV = bbv.out
+	}
+	return res, nil
+}
+
+// CollectByName looks the workload up in the registry and collects it.
+func CollectByName(name string, opt CollectOptions) (*CollectResult, error) {
+	f, ok := workload.Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("profiler: unknown workload %q", name)
+	}
+	return Collect(f(), opt)
+}

@@ -1,0 +1,120 @@
+package profiler
+
+import (
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/cpu"
+	"repro/internal/osim"
+	"repro/internal/workload"
+)
+
+// fixture registers a trivial two-phase workload once.
+func init() {
+	workload.Register("prof-test", func() workload.Workload { return &testWL{} })
+}
+
+type testWL struct{}
+
+func (*testWL) Name() string         { return "prof-test" }
+func (*testWL) SamplePeriod() uint64 { return 100 }
+func (*testWL) Setup(sched *osim.Sched, space *addr.Space, seed uint64) {
+	code := workload.NewCodeRegion(space, "t", 8)
+	i := 0
+	sched.Add("t", workload.NewRunner(workload.GenFunc(func(e *workload.Emitter) {
+		i++
+		e.EmitBlock(code.PC(i%7), 10, 0.5)
+	})))
+}
+
+func TestSamplePeriodRespected(t *testing.T) {
+	res, err := CollectByName("prof-test", CollectOptions{Seed: 1, Intervals: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Profile
+	// 2 intervals x 100_000 insts at one sample per 100 insts.
+	want := 2 * int(workload.IntervalInsts) / 100
+	if len(p.Samples) < want-2 || len(p.Samples) > want+2 {
+		t.Fatalf("%d samples, want ~%d", len(p.Samples), want)
+	}
+	// Counter snapshots are monotone in instructions and near the period
+	// boundaries.
+	for i := 1; i < len(p.Samples); i++ {
+		d := p.Samples[i].Counters.Insts - p.Samples[i-1].Counters.Insts
+		if d < 90 || d > 200 {
+			t.Fatalf("inter-sample instruction gap %d at %d", d, i)
+		}
+	}
+}
+
+func TestSamplesCarryEIPsAndThreads(t *testing.T) {
+	res, err := CollectByName("prof-test", CollectOptions{Seed: 1, Intervals: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Profile.Samples {
+		if s.EIP == 0 {
+			t.Fatal("sample without EIP")
+		}
+		if s.Kernel != addr.IsKernel(s.EIP) {
+			t.Fatal("kernel flag inconsistent")
+		}
+	}
+	if res.Profile.UniqueEIPs() < 7 {
+		t.Fatalf("unique EIPs = %d, want >= 7", res.Profile.UniqueEIPs())
+	}
+}
+
+func TestCollectErrors(t *testing.T) {
+	if _, err := CollectByName("no-such", CollectOptions{Intervals: 1}); err == nil {
+		t.Fatal("unknown workload did not error")
+	}
+	if _, err := CollectByName("prof-test", CollectOptions{Intervals: 0}); err == nil {
+		t.Fatal("zero intervals did not error")
+	}
+}
+
+func TestPeriodOverride(t *testing.T) {
+	a, _ := CollectByName("prof-test", CollectOptions{Seed: 1, Intervals: 1})
+	b, _ := CollectByName("prof-test", CollectOptions{Seed: 1, Intervals: 1, PeriodOverride: 1000})
+	if len(b.Profile.Samples) >= len(a.Profile.Samples) {
+		t.Fatalf("coarser period produced more samples: %d vs %d",
+			len(b.Profile.Samples), len(a.Profile.Samples))
+	}
+	if b.Profile.Period != 1000 {
+		t.Fatalf("period not recorded: %d", b.Profile.Period)
+	}
+}
+
+func TestMachineSelection(t *testing.T) {
+	res, err := CollectByName("prof-test", CollectOptions{Seed: 1, Intervals: 1, Machine: cpu.PentiumIV()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Profile.Machine != "pentium4" {
+		t.Fatalf("machine = %q", res.Profile.Machine)
+	}
+}
+
+func TestDeterministicCollection(t *testing.T) {
+	a, _ := CollectByName("prof-test", CollectOptions{Seed: 9, Intervals: 1})
+	b, _ := CollectByName("prof-test", CollectOptions{Seed: 9, Intervals: 1})
+	if len(a.Profile.Samples) != len(b.Profile.Samples) {
+		t.Fatal("sample counts differ")
+	}
+	for i := range a.Profile.Samples {
+		if a.Profile.Samples[i] != b.Profile.Samples[i] {
+			t.Fatalf("sample %d differs", i)
+		}
+	}
+}
+
+func TestZeroPeriodPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(cpu.New(cpu.Itanium2()), 0)
+}

@@ -1,0 +1,88 @@
+package profiler
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Profiles serialize to a small JSON envelope followed by one JSON sample
+// per line, so multi-hundred-thousand-sample profiles stream without
+// building a giant in-memory document. The format lets a collection run be
+// archived and re-analyzed offline (different interval lengths, tree
+// settings, thread separation) without re-simulating.
+
+// header is the first line of a serialized profile.
+type header struct {
+	Version  int    `json:"version"`
+	Workload string `json:"workload"`
+	Machine  string `json:"machine"`
+	Period   uint64 `json:"period"`
+	Samples  int    `json:"samples"`
+}
+
+// formatVersion identifies the on-disk layout.
+const formatVersion = 1
+
+// WriteTo serializes the profile. It returns the number of bytes written.
+func (p *Profile) WriteTo(w io.Writer) (int64, error) {
+	bw := &countingWriter{w: bufio.NewWriter(w)}
+	enc := json.NewEncoder(bw)
+	h := header{
+		Version:  formatVersion,
+		Workload: p.Workload,
+		Machine:  p.Machine,
+		Period:   p.Period,
+		Samples:  len(p.Samples),
+	}
+	if err := enc.Encode(h); err != nil {
+		return bw.n, err
+	}
+	for i := range p.Samples {
+		if err := enc.Encode(&p.Samples[i]); err != nil {
+			return bw.n, fmt.Errorf("profiler: sample %d: %w", i, err)
+		}
+	}
+	return bw.n, bw.w.(*bufio.Writer).Flush()
+}
+
+// ReadProfile deserializes a profile written by WriteTo.
+func ReadProfile(r io.Reader) (*Profile, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	var h header
+	if err := dec.Decode(&h); err != nil {
+		return nil, fmt.Errorf("profiler: reading header: %w", err)
+	}
+	if h.Version != formatVersion {
+		return nil, fmt.Errorf("profiler: unsupported profile version %d", h.Version)
+	}
+	if h.Period == 0 {
+		return nil, fmt.Errorf("profiler: corrupt header: zero period")
+	}
+	p := &Profile{
+		Workload: h.Workload,
+		Machine:  h.Machine,
+		Period:   h.Period,
+		Samples:  make([]Sample, 0, h.Samples),
+	}
+	for i := 0; i < h.Samples; i++ {
+		var s Sample
+		if err := dec.Decode(&s); err != nil {
+			return nil, fmt.Errorf("profiler: sample %d of %d: %w", i, h.Samples, err)
+		}
+		p.Samples = append(p.Samples, s)
+	}
+	return p, nil
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(b []byte) (int, error) {
+	n, err := c.w.Write(b)
+	c.n += int64(n)
+	return n, err
+}

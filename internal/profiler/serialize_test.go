@@ -1,0 +1,67 @@
+package profiler
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	orig, err := CollectByName("prof-test", CollectOptions{Seed: 4, Intervals: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n, err := orig.Profile.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	got, err := ReadProfile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Workload != orig.Profile.Workload || got.Period != orig.Profile.Period || got.Machine != orig.Profile.Machine {
+		t.Fatalf("metadata mismatch: %+v", got)
+	}
+	if len(got.Samples) != len(orig.Profile.Samples) {
+		t.Fatalf("%d samples, want %d", len(got.Samples), len(orig.Profile.Samples))
+	}
+	for i := range got.Samples {
+		if got.Samples[i] != orig.Profile.Samples[i] {
+			t.Fatalf("sample %d differs: %+v vs %+v", i, got.Samples[i], orig.Profile.Samples[i])
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"empty":       "",
+		"not json":    "hello\n",
+		"bad version": `{"version":99,"workload":"x","period":100,"samples":0}` + "\n",
+		"zero period": `{"version":1,"workload":"x","period":0,"samples":0}` + "\n",
+		"truncated":   `{"version":1,"workload":"x","period":100,"samples":3}` + "\n" + `{"EIP":1}` + "\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadProfile(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+}
+
+func TestEmptyProfileRoundTrip(t *testing.T) {
+	p := &Profile{Workload: "w", Machine: "m", Period: 100}
+	var buf bytes.Buffer
+	if _, err := p.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadProfile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Samples) != 0 || got.Workload != "w" {
+		t.Fatalf("round trip: %+v", got)
+	}
+}

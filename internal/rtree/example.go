@@ -1,0 +1,40 @@
+package rtree
+
+// This file encodes the paper's worked example (Table 1 / Figure 1): eight
+// EIPVs over three unique EIPs, whose optimal 4-chamber regression tree
+// has root (EIP0, 20), a left child splitting on (EIP2, 60) and a right
+// child splitting on (EIP1, 0).
+
+// Example EIP identifiers for the Table 1 data.
+const (
+	ExampleEIP0 uint64 = 0
+	ExampleEIP1 uint64 = 1
+	ExampleEIP2 uint64 = 2
+)
+
+// ExampleTable1 returns the paper's Table 1 dataset. The published table's
+// per-EIP counts are partially illegible in the available text, so the
+// counts below are reconstructed to satisfy every constraint the paper
+// states explicitly: the CPI column; the root split (EIP0, 20) sending
+// EIPV2/4/5/6 left and EIPV0/1/3/7 right; the left subtree splitting on
+// (EIP2, 60) into {EIPV4 (2.0), EIPV5 (2.1)} vs {EIPV2 (2.6), EIPV6
+// (2.5)}; and the right subtree splitting on (EIP1, 0) into {EIPV0 (1.0),
+// EIPV1 (1.1)} vs {EIPV3 (0.6), EIPV7 (0.7)} (Figure 1).
+func ExampleTable1() Dataset {
+	row := func(cpi float64, e0, e1, e2 int) Point {
+		return Point{Y: cpi, Counts: map[uint64]int{
+			ExampleEIP0: e0, ExampleEIP1: e1, ExampleEIP2: e2,
+		}}
+	}
+	return Dataset{
+		// EIPV0..EIPV7 in order.
+		row(1.0, 60, 0, 40),  // EIPV0: right, EIP1==0
+		row(1.1, 70, 0, 8),   // EIPV1: right, EIP1==0
+		row(2.6, 10, 20, 70), // EIPV2: left, EIP2>60
+		row(0.6, 65, 10, 10), // EIPV3: right, EIP1>0
+		row(2.0, 12, 18, 50), // EIPV4: left, EIP2<=60
+		row(2.1, 20, 30, 60), // EIPV5: left, EIP2<=60
+		row(2.5, 15, 15, 80), // EIPV6: left, EIP2>60
+		row(0.7, 90, 5, 5),   // EIPV7: right, EIP1>0
+	}
+}

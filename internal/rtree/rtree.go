@@ -1,0 +1,426 @@
+// Package rtree implements the paper's central analysis tool (§4): binary
+// regression trees over EIP vectors that quantify the theoretical upper
+// bound on predicting CPI from EIPs alone.
+//
+// A tree recursively splits the set of EIPVs on questions of the form
+// "was EIP e sampled at most n times in this interval?", always choosing
+// the (EIP, n) pair that minimizes the weighted sum of CPI variances of
+// the two sides (§4.1). Growth is best-first: the next split is always the
+// one with the largest achievable variance reduction anywhere in the tree,
+// which yields the nested family T_1 ⊂ T_2 ⊂ … ⊂ T_K in a single pass, so
+// the k-chamber tree for every k ≤ K falls out of one build (§4.3).
+//
+// CrossValidate implements the 10-fold procedure of §4.4 and returns the
+// relative error curve RE_k; 1−RE is the fraction of CPI variance EIPs can
+// explain.
+package rtree
+
+import (
+	"fmt"
+	"math"
+	"slices"
+	"sort"
+
+	"repro/internal/stats"
+	"repro/internal/xrand"
+)
+
+// Point is one observation: a sparse feature histogram (EIP -> sample
+// count) and a response (the interval's CPI).
+type Point struct {
+	Counts map[uint64]int
+	Y      float64
+}
+
+// Dataset is a collection of observations.
+type Dataset []Point
+
+// YVariance returns the population variance of the responses (the paper's
+// E, the denominator of the relative error).
+func (d Dataset) YVariance() float64 {
+	ys := make([]float64, len(d))
+	for i := range d {
+		ys[i] = d[i].Y
+	}
+	return stats.Var(ys)
+}
+
+// Options tunes tree growth.
+type Options struct {
+	// MaxLeaves caps the number of chambers (the paper uses 50, §4.3).
+	MaxLeaves int
+	// MinLeaf is the minimum number of points per chamber.
+	MinLeaf int
+}
+
+// DefaultOptions mirrors the paper's settings.
+func DefaultOptions() Options { return Options{MaxLeaves: 50, MinLeaf: 2} }
+
+// Split describes one internal node's question: count(EIP) <= N goes left.
+type Split struct {
+	EIP uint64
+	N   int
+	// Order is the split's position in the best-first growth sequence;
+	// the k-chamber tree consists of the splits with Order < k-1.
+	Order int
+	// Gain is the variance-reduction (sum-of-squares units) the split
+	// achieved.
+	Gain float64
+}
+
+type node struct {
+	members []int // dataset indices (retained for leaves and diagnostics)
+	sum     float64
+	sumsq   float64
+
+	split       *Split
+	left, right *node
+
+	// best candidate split found for this node (pre-computed when the
+	// node is created).
+	bestEIP  uint64
+	bestN    int
+	bestGain float64
+}
+
+func (n *node) count() int { return len(n.members) }
+
+func (n *node) mean() float64 {
+	if len(n.members) == 0 {
+		return 0
+	}
+	return n.sum / float64(len(n.members))
+}
+
+// ss returns the node's within-sum-of-squares.
+func (n *node) ss() float64 {
+	if len(n.members) == 0 {
+		return 0
+	}
+	return n.sumsq - n.sum*n.sum/float64(len(n.members))
+}
+
+// Tree is a grown regression tree.
+type Tree struct {
+	data   Dataset
+	root   *node
+	splits []*node // internal nodes in growth order
+	opt    Options
+}
+
+// Leaves returns the number of chambers in the full tree.
+func (t *Tree) Leaves() int { return len(t.splits) + 1 }
+
+// Splits returns the growth-ordered split descriptions.
+func (t *Tree) Splits() []Split {
+	out := make([]Split, len(t.splits))
+	for i, n := range t.splits {
+		out[i] = *n.split
+	}
+	return out
+}
+
+// Build grows a tree over data with best-first splitting.
+func Build(data Dataset, opt Options) *Tree {
+	if opt.MaxLeaves < 1 {
+		opt.MaxLeaves = 1
+	}
+	if opt.MinLeaf < 1 {
+		opt.MinLeaf = 1
+	}
+	t := &Tree{data: data, opt: opt}
+	root := &node{members: make([]int, len(data))}
+	for i := range data {
+		root.members[i] = i
+		root.sum += data[i].Y
+		root.sumsq += data[i].Y * data[i].Y
+	}
+	t.root = root
+	t.findBest(root)
+
+	frontier := []*node{root}
+	for t.Leaves() < opt.MaxLeaves {
+		// Pick the leaf with the largest achievable gain.
+		var best *node
+		for _, n := range frontier {
+			if n.bestGain > 1e-12 && (best == nil || n.bestGain > best.bestGain) {
+				best = n
+			}
+		}
+		if best == nil {
+			break // no leaf can be improved
+		}
+		t.applySplit(best)
+		// Replace best in the frontier with its children.
+		for i, n := range frontier {
+			if n == best {
+				frontier[i] = frontier[len(frontier)-1]
+				frontier = frontier[:len(frontier)-1]
+				break
+			}
+		}
+		frontier = append(frontier, best.left, best.right)
+	}
+	return t
+}
+
+// findBest computes the node's best (EIP, n) split. Features are sparse:
+// for each EIP appearing in the node we gather its nonzero (count, y)
+// pairs; all remaining members implicitly have count 0. Candidate
+// thresholds are the observed counts (including 0) except the maximum.
+func (t *Tree) findBest(n *node) {
+	n.bestGain = 0
+	m := len(n.members)
+	if m < 2*t.opt.MinLeaf {
+		return
+	}
+	parentSS := n.ss()
+	if parentSS <= 1e-12 {
+		return
+	}
+
+	// feature -> list of (count, y) for members where count > 0.
+	type cy struct {
+		c int
+		y float64
+	}
+	feat := map[uint64][]cy{}
+	for _, idx := range n.members {
+		p := &t.data[idx]
+		for e, c := range p.Counts {
+			feat[e] = append(feat[e], cy{c, p.Y})
+		}
+	}
+
+	// Deterministic feature order: ties between equally good splits are
+	// broken toward the lowest EIP.
+	order := make([]uint64, 0, len(feat))
+	for e := range feat {
+		order = append(order, e)
+	}
+	slices.Sort(order)
+
+	for _, e := range order {
+		list := feat[e]
+		nz := m - len(list) // members with implicit zero count
+		// Sort nonzero observations by count.
+		sort.Slice(list, func(i, j int) bool { return list[i].c < list[j].c })
+
+		// Zero-side aggregates.
+		var nzSum, nzSumsq float64
+		for _, v := range list {
+			nzSum += v.y
+			nzSumsq += v.y * v.y
+		}
+		zeroSum := n.sum - nzSum
+		zeroSumsq := n.sumsq - nzSumsq
+
+		// Scan thresholds: after absorbing each distinct count value into
+		// the left side, evaluate the split.
+		leftN := nz
+		leftSum, leftSumsq := zeroSum, zeroSumsq
+		i := 0
+		for i <= len(list) {
+			// Threshold = count value of the left side's maximum; first
+			// iteration (i==0) corresponds to threshold 0 (zeros only).
+			if leftN >= t.opt.MinLeaf && m-leftN >= t.opt.MinLeaf && leftN > 0 && leftN < m {
+				rightN := m - leftN
+				rightSum := n.sum - leftSum
+				rightSumsq := n.sumsq - leftSumsq
+				ssL := leftSumsq - leftSum*leftSum/float64(leftN)
+				ssR := rightSumsq - rightSum*rightSum/float64(rightN)
+				gain := parentSS - ssL - ssR
+				if gain > n.bestGain {
+					thr := 0
+					if i > 0 {
+						thr = list[i-1].c
+					}
+					n.bestGain = gain
+					n.bestEIP = e
+					n.bestN = thr
+				}
+			}
+			if i == len(list) {
+				break
+			}
+			// Absorb the next run of equal counts into the left side.
+			c := list[i].c
+			for i < len(list) && list[i].c == c {
+				leftN++
+				leftSum += list[i].y
+				leftSumsq += list[i].y * list[i].y
+				i++
+			}
+		}
+	}
+}
+
+// applySplit turns a leaf with a computed best split into an internal node.
+func (t *Tree) applySplit(n *node) {
+	left := &node{}
+	right := &node{}
+	for _, idx := range n.members {
+		p := &t.data[idx]
+		if p.Counts[n.bestEIP] <= n.bestN {
+			left.members = append(left.members, idx)
+			left.sum += p.Y
+			left.sumsq += p.Y * p.Y
+		} else {
+			right.members = append(right.members, idx)
+			right.sum += p.Y
+			right.sumsq += p.Y * p.Y
+		}
+	}
+	n.split = &Split{EIP: n.bestEIP, N: n.bestN, Order: len(t.splits), Gain: n.bestGain}
+	n.left, n.right = left, right
+	t.splits = append(t.splits, n)
+	t.findBest(left)
+	t.findBest(right)
+}
+
+// PredictK routes a point through the k-chamber subtree T_k and returns the
+// chamber's mean CPI. k of 1 returns the global mean; k >= Leaves() uses
+// the full tree.
+func (t *Tree) PredictK(counts map[uint64]int, k int) float64 {
+	n := t.root
+	for n.split != nil && n.split.Order <= k-2 {
+		if counts[n.split.EIP] <= n.split.N {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.mean()
+}
+
+// Predict uses the full tree.
+func (t *Tree) Predict(counts map[uint64]int) float64 {
+	return t.PredictK(counts, t.Leaves())
+}
+
+// InSampleRE returns the training-set relative error of T_k: within-SS of
+// the k-chamber partition over total SS.
+func (t *Tree) InSampleRE(k int) float64 {
+	total := t.root.ss()
+	if total <= 0 {
+		return 0
+	}
+	var within float64
+	var walk func(n *node, k int)
+	walk = func(n *node, k int) {
+		if n.split != nil && n.split.Order <= k-2 {
+			walk(n.left, k)
+			walk(n.right, k)
+			return
+		}
+		within += n.ss()
+	}
+	walk(t.root, k)
+	return within / total
+}
+
+// CVResult is the outcome of the §4.4 cross-validation.
+type CVResult struct {
+	// RE[k-1] is the relative cross-validation error of the k-chamber
+	// tree, k = 1..MaxLeaves.
+	RE []float64
+	// KOpt is the k minimizing RE, and REOpt the minimum (the paper's
+	// RE_kopt, its CPI-predictability measure).
+	KOpt  int
+	REOpt float64
+	// REAsym approximates RE_k=∞ (the tail mean of the curve).
+	REAsym float64
+	// KAsym is the smallest k whose RE is within 0.5% of REAsym — the
+	// paper's notion of the number of chambers needed to capture the
+	// relationship (§4.4).
+	KAsym int
+	// TotalVar is E, the population variance of CPI.
+	TotalVar float64
+	// Points is the dataset size.
+	Points int
+}
+
+// ExplainedVariance returns 1−REOpt clamped to [0,1]: the fraction of CPI
+// variance EIPVs can explain (§4.5).
+func (r CVResult) ExplainedVariance() float64 {
+	v := 1 - r.REOpt
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// CrossValidate runs 10-fold cross-validation (folds fixed by seed) and
+// returns the RE_k curve. It returns an error for datasets too small to
+// fold.
+func CrossValidate(data Dataset, opt Options, folds int, seed uint64) (CVResult, error) {
+	if folds < 2 {
+		return CVResult{}, fmt.Errorf("rtree: need at least 2 folds, got %d", folds)
+	}
+	if len(data) < folds*2 {
+		return CVResult{}, fmt.Errorf("rtree: dataset of %d points too small for %d folds", len(data), folds)
+	}
+	totalVar := data.YVariance()
+	if totalVar <= 0 {
+		// Degenerate: constant CPI. The mean predictor is exact; report a
+		// flat curve of zeros.
+		re := make([]float64, opt.MaxLeaves)
+		return CVResult{RE: re, KOpt: 1, REOpt: 0, REAsym: 0, TotalVar: 0, Points: len(data)}, nil
+	}
+
+	// Random fold assignment.
+	rng := xrand.New(seed ^ 0xcf01d)
+	perm := make([]int, len(data))
+	rng.Perm(perm)
+
+	sqerr := make([]float64, opt.MaxLeaves) // summed over all held-out points
+	for f := 0; f < folds; f++ {
+		var train Dataset
+		var test []int
+		for i, p := range perm {
+			if p%folds == f {
+				test = append(test, i)
+			} else {
+				train = append(train, data[i])
+			}
+		}
+		tree := Build(train, opt)
+		for _, ti := range test {
+			y := data[ti].Y
+			for k := 1; k <= opt.MaxLeaves; k++ {
+				pred := tree.PredictK(data[ti].Counts, k)
+				d := y - pred
+				sqerr[k-1] += d * d
+			}
+		}
+	}
+
+	res := CVResult{RE: make([]float64, opt.MaxLeaves), TotalVar: totalVar, Points: len(data)}
+	res.KOpt, res.REOpt = 1, math.Inf(1)
+	for k := 1; k <= opt.MaxLeaves; k++ {
+		re := (sqerr[k-1] / float64(len(data))) / totalVar
+		res.RE[k-1] = re
+		if re < res.REOpt {
+			res.REOpt = re
+			res.KOpt = k
+		}
+	}
+	// Asymptote: mean of the last quarter of the curve.
+	tail := opt.MaxLeaves / 4
+	if tail < 1 {
+		tail = 1
+	}
+	var s float64
+	for _, re := range res.RE[opt.MaxLeaves-tail:] {
+		s += re
+	}
+	res.REAsym = s / float64(tail)
+	res.KAsym = opt.MaxLeaves
+	for k := 1; k <= opt.MaxLeaves; k++ {
+		if res.RE[k-1] <= res.REAsym*1.005 {
+			res.KAsym = k
+			break
+		}
+	}
+	return res, nil
+}

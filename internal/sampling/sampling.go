@@ -1,0 +1,362 @@
+// Package sampling implements the sampling techniques the paper's §7
+// recommends per quadrant, and evaluates their CPI-estimation accuracy:
+//
+//   - uniform sampling [30]: every (m/n)-th interval;
+//   - random sampling: n intervals chosen uniformly at random;
+//   - phase-based sampling [27][28]: cluster EIPVs with K-means, simulate
+//     one representative interval per cluster, weight by cluster size;
+//   - stratified sampling [25]: like phase-based, but high-CPI-variance
+//     clusters get extra samples (Neyman allocation).
+//
+// The error metric is the relative error of the estimated mean CPI against
+// the full run's true mean CPI — the quantity an architect using sampled
+// simulation actually cares about.
+package sampling
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/kmeans"
+	"repro/internal/stats"
+	"repro/internal/xrand"
+)
+
+// Technique identifies a sampling strategy.
+type Technique int
+
+// The techniques of §7.
+const (
+	Uniform Technique = iota
+	Random
+	PhaseBased
+	Stratified
+)
+
+func (t Technique) String() string {
+	switch t {
+	case Uniform:
+		return "uniform"
+	case Random:
+		return "random"
+	case PhaseBased:
+		return "phase-based"
+	case Stratified:
+		return "stratified"
+	default:
+		return fmt.Sprintf("Technique(%d)", int(t))
+	}
+}
+
+// Techniques lists all strategies in presentation order.
+func Techniques() []Technique { return []Technique{Uniform, Random, PhaseBased, Stratified} }
+
+// Estimate approximates the mean of cpis using n sampled intervals with
+// the given technique. vectors supplies the EIPVs for the phase-driven
+// techniques (may be nil for Uniform/Random). It returns the estimate and
+// the number of intervals actually simulated.
+func Estimate(t Technique, cpis []float64, vectors []kmeans.Vector, n int, seed uint64) (float64, int, error) {
+	m := len(cpis)
+	if m == 0 {
+		return 0, 0, fmt.Errorf("sampling: empty CPI series")
+	}
+	if n < 1 {
+		return 0, 0, fmt.Errorf("sampling: need at least one sample, got %d", n)
+	}
+	if n > m {
+		n = m
+	}
+	switch t {
+	case Uniform:
+		// Systematic: every (m/n)-th interval starting mid-stride.
+		stride := float64(m) / float64(n)
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			idx := int((float64(i) + 0.5) * stride)
+			if idx >= m {
+				idx = m - 1
+			}
+			sum += cpis[idx]
+		}
+		return sum / float64(n), n, nil
+
+	case Random:
+		rng := xrand.New(seed ^ 0x5a4d)
+		perm := make([]int, m)
+		rng.Perm(perm)
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += cpis[perm[i]]
+		}
+		return sum / float64(n), n, nil
+
+	case PhaseBased:
+		if len(vectors) != m {
+			return 0, 0, fmt.Errorf("sampling: phase-based needs EIPVs (%d != %d)", len(vectors), m)
+		}
+		res, err := kmeans.Cluster(vectors, n, seed, 40)
+		if err != nil {
+			return 0, 0, err
+		}
+		reps := representatives(res, vectors)
+		est := 0.0
+		for c, rep := range reps {
+			est += float64(res.Sizes[c]) / float64(m) * cpis[rep]
+		}
+		return est, len(reps), nil
+
+	case Stratified:
+		if len(vectors) != m {
+			return 0, 0, fmt.Errorf("sampling: stratified needs EIPVs (%d != %d)", len(vectors), m)
+		}
+		// Use fewer clusters and spend the remaining budget inside the
+		// high-variance ones.
+		k := n / 2
+		if k < 1 {
+			k = 1
+		}
+		res, err := kmeans.Cluster(vectors, k, seed, 40)
+		if err != nil {
+			return 0, 0, err
+		}
+		return stratifiedEstimate(res, cpis, n, seed)
+
+	default:
+		return 0, 0, fmt.Errorf("sampling: unknown technique %d", int(t))
+	}
+}
+
+// representatives picks, per cluster, the member closest to the cluster's
+// centroid in EIPV space (the SimPoint rule).
+func representatives(res *kmeans.Result, vectors []kmeans.Vector) []int {
+	// Compute centroids as dense maps.
+	sums := make([]map[uint64]float64, res.K)
+	for i := range sums {
+		sums[i] = map[uint64]float64{}
+	}
+	for i, v := range vectors {
+		c := res.Assign[i]
+		for f, cnt := range v {
+			sums[c][f] += float64(cnt)
+		}
+	}
+	best := make([]int, res.K)
+	bestD := make([]float64, res.K)
+	for c := range best {
+		best[c] = -1
+		bestD[c] = math.Inf(1)
+	}
+	for i, v := range vectors {
+		c := res.Assign[i]
+		n := float64(res.Sizes[c])
+		d := 0.0
+		seen := map[uint64]bool{}
+		for f, cnt := range v {
+			mu := sums[c][f] / n
+			diff := float64(cnt) - mu
+			d += diff * diff
+			seen[f] = true
+		}
+		for f, s := range sums[c] {
+			if !seen[f] {
+				mu := s / n
+				d += mu * mu
+			}
+		}
+		if d < bestD[c] {
+			bestD[c] = d
+			best[c] = i
+		}
+	}
+	out := best[:0]
+	for _, b := range best {
+		if b >= 0 {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// stratifiedEstimate allocates the n-interval budget across clusters
+// proportionally to size x stddev (Neyman), sampling within each cluster
+// uniformly and weighting by cluster size.
+func stratifiedEstimate(res *kmeans.Result, cpis []float64, n int, seed uint64) (float64, int, error) {
+	m := len(cpis)
+	vars := kmeans.ClusterCPIVariance(res, cpis)
+	members := make([][]int, res.K)
+	for i, a := range res.Assign {
+		members[a] = append(members[a], i)
+	}
+	// Allocation weights.
+	weights := make([]float64, res.K)
+	total := 0.0
+	for c := range weights {
+		weights[c] = float64(res.Sizes[c]) * math.Sqrt(vars[c])
+		total += weights[c]
+	}
+	alloc := make([]int, res.K)
+	used := 0
+	for c := range alloc {
+		alloc[c] = 1 // at least one per stratum
+		used++
+	}
+	if total > 0 {
+		extra := n - used
+		if extra < 0 {
+			extra = 0
+		}
+		type cw struct {
+			c int
+			w float64
+		}
+		order := make([]cw, res.K)
+		for c := range order {
+			order[c] = cw{c, weights[c]}
+		}
+		sort.Slice(order, func(i, j int) bool { return order[i].w > order[j].w })
+		for i := 0; i < extra; i++ {
+			alloc[order[i%len(order)].c]++
+		}
+	}
+	rng := xrand.New(seed ^ 0x57a7)
+	est := 0.0
+	simulated := 0
+	for c, mem := range members {
+		if len(mem) == 0 {
+			continue
+		}
+		k := alloc[c]
+		if k > len(mem) {
+			k = len(mem)
+		}
+		sum := 0.0
+		for i := 0; i < k; i++ {
+			idx := mem[(rng.Intn(len(mem))+i)%len(mem)]
+			sum += cpis[idx]
+		}
+		simulated += k
+		est += float64(res.Sizes[c]) / float64(m) * (sum / float64(k))
+	}
+	return est, simulated, nil
+}
+
+// Bound is a statistical error bound for a random-sampling estimate, in
+// the style of the SMARTS/statistical-sampling work the paper's §7 points
+// Q-III workloads toward: sampling theory predicts the estimate's error
+// without knowing the truth.
+type Bound struct {
+	Estimate float64
+	// Half is the half-width of the ~95% confidence interval for the mean
+	// (1.96 * s/sqrt(n), finite-population corrected).
+	Half float64
+	// Relative is Half / Estimate.
+	Relative float64
+	N        int
+}
+
+// Covers reports whether the interval contains the given true mean.
+func (b Bound) Covers(truth float64) bool {
+	return truth >= b.Estimate-b.Half && truth <= b.Estimate+b.Half
+}
+
+// EstimateWithBound performs random sampling of n intervals and returns
+// the estimate together with its predicted 95% confidence half-width —
+// the quantity a statistical-sampling methodology reports so the
+// architect knows whether the sample budget sufficed.
+func EstimateWithBound(cpis []float64, n int, seed uint64) (Bound, error) {
+	m := len(cpis)
+	if m == 0 {
+		return Bound{}, fmt.Errorf("sampling: empty CPI series")
+	}
+	if n < 2 {
+		return Bound{}, fmt.Errorf("sampling: need at least two samples for a bound, got %d", n)
+	}
+	if n > m {
+		n = m
+	}
+	rng := xrand.New(seed ^ 0xb0d)
+	perm := make([]int, m)
+	rng.Perm(perm)
+	var acc stats.Acc
+	for i := 0; i < n; i++ {
+		acc.Add(cpis[perm[i]])
+	}
+	est := acc.Mean()
+	se := math.Sqrt(acc.SampleVar() / float64(n))
+	// Finite population correction: sampling without replacement from m
+	// intervals.
+	if m > 1 {
+		se *= math.Sqrt(float64(m-n) / float64(m-1))
+	}
+	b := Bound{Estimate: est, Half: 1.96 * se, N: n}
+	if est != 0 {
+		b.Relative = b.Half / est
+	}
+	return b, nil
+}
+
+// RequiredSamples returns the number of random interval samples needed so
+// the 95% confidence half-width is at most targetRel of the mean — the
+// "systematic way to compute the optimal frequency of sampling" the paper
+// credits to the statistical-sampling line of work (§8, [30]). The result
+// is clamped to [2, len(cpis)] (a full census always suffices).
+func RequiredSamples(cpis []float64, targetRel float64) (int, error) {
+	m := len(cpis)
+	if m == 0 {
+		return 0, fmt.Errorf("sampling: empty CPI series")
+	}
+	if targetRel <= 0 {
+		return 0, fmt.Errorf("sampling: target relative error must be positive, got %v", targetRel)
+	}
+	mean := stats.Mean(cpis)
+	if mean == 0 {
+		return 2, nil
+	}
+	variance := stats.Var(cpis)
+	// Solve 1.96*sqrt(v/n)*fpc <= targetRel*mean with the finite
+	// population correction fpc = sqrt((m-n)/(m-1)); without the
+	// correction first, then adjust: n0 = (1.96/targetRel/mean)^2 * v,
+	// n = n0 / (1 + (n0-1)/m)  (standard survey-sampling form).
+	z := 1.96 / (targetRel * mean)
+	n0 := z * z * variance
+	n := n0 / (1 + (n0-1)/float64(m))
+	needed := int(math.Ceil(n))
+	if needed < 2 {
+		needed = 2
+	}
+	if needed > m {
+		needed = m
+	}
+	return needed, nil
+}
+
+// Eval is one technique's accuracy on one workload.
+type Eval struct {
+	Technique Technique
+	Estimate  float64
+	TrueMean  float64
+	// RelErr is |estimate - truth| / truth.
+	RelErr float64
+	// Simulated is the number of intervals the technique would simulate.
+	Simulated int
+}
+
+// Evaluate runs every technique with the same interval budget and reports
+// each one's relative CPI-estimation error.
+func Evaluate(cpis []float64, vectors []kmeans.Vector, budget int, seed uint64) ([]Eval, error) {
+	truth := stats.Mean(cpis)
+	out := make([]Eval, 0, 4)
+	for _, tech := range Techniques() {
+		est, sim, err := Estimate(tech, cpis, vectors, budget, seed)
+		if err != nil {
+			return nil, err
+		}
+		rel := 0.0
+		if truth != 0 {
+			rel = math.Abs(est-truth) / truth
+		}
+		out = append(out, Eval{Technique: tech, Estimate: est, TrueMean: truth, RelErr: rel, Simulated: sim})
+	}
+	return out, nil
+}

@@ -1,0 +1,288 @@
+package sampling
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/kmeans"
+	"repro/internal/xrand"
+)
+
+// phased builds a CPI series with two clean phases of unequal length
+// (cycle: 30 intervals at CPI 1.0, then 10 at 4.0) and matching EIPVs.
+// True mean CPI = 1.75.
+func phased(m int) ([]float64, []kmeans.Vector) {
+	cpis := make([]float64, m)
+	vectors := make([]kmeans.Vector, m)
+	for i := range cpis {
+		if i%40 < 30 {
+			cpis[i] = 1.0
+			vectors[i] = kmeans.Vector{1: 90, 2: 10}
+		} else {
+			cpis[i] = 4.0
+			vectors[i] = kmeans.Vector{7: 80, 8: 20}
+		}
+	}
+	return cpis, vectors
+}
+
+func TestUniformOnFlatSeries(t *testing.T) {
+	cpis := make([]float64, 100)
+	for i := range cpis {
+		cpis[i] = 2.0
+	}
+	est, n, err := Estimate(Uniform, cpis, nil, 5, 1)
+	if err != nil || n != 5 {
+		t.Fatalf("err=%v n=%d", err, n)
+	}
+	if est != 2.0 {
+		t.Fatalf("estimate = %v", est)
+	}
+}
+
+func TestPhaseBasedNailsPhasedWorkload(t *testing.T) {
+	cpis, vectors := phased(120)
+	est, sim, err := Estimate(PhaseBased, cpis, vectors, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim != 2 {
+		t.Fatalf("simulated %d intervals, want 2", sim)
+	}
+	if math.Abs(est-1.75) > 1e-9 {
+		t.Fatalf("phase-based estimate %v, want exactly 1.75", est)
+	}
+}
+
+func TestUniformNeedsMoreOnPhasedWorkload(t *testing.T) {
+	// With a tiny budget, uniform can alias against the phase period;
+	// phase-based with the same budget is exact. This is the paper's Q-IV
+	// argument.
+	cpis, vectors := phased(120)
+	evals, err := Evaluate(cpis, vectors, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var uni, phase float64
+	for _, e := range evals {
+		switch e.Technique {
+		case Uniform:
+			uni = e.RelErr
+		case PhaseBased:
+			phase = e.RelErr
+		}
+	}
+	if phase > 1e-9 {
+		t.Fatalf("phase-based error %v on clean phases", phase)
+	}
+	if uni <= phase {
+		t.Fatalf("uniform (%v) not worse than phase-based (%v) at budget 2", uni, phase)
+	}
+}
+
+func TestRandomUnbiasedOnLowVariance(t *testing.T) {
+	rng := xrand.New(5)
+	cpis := make([]float64, 200)
+	for i := range cpis {
+		cpis[i] = 2 + rng.Norm(0, 0.05)
+	}
+	est, _, err := Estimate(Random, cpis, nil, 10, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est-2) > 0.1 {
+		t.Fatalf("random estimate %v far from 2", est)
+	}
+}
+
+func TestStratifiedBeatsPhaseOnNoisyCluster(t *testing.T) {
+	// One phase has huge internal CPI variance: a single representative
+	// per phase is risky; stratified spends extra samples there.
+	rng := xrand.New(11)
+	m := 200
+	cpis := make([]float64, m)
+	vectors := make([]kmeans.Vector, m)
+	for i := range cpis {
+		if i%2 == 0 {
+			cpis[i] = 1.0
+			vectors[i] = kmeans.Vector{1: 100}
+		} else {
+			cpis[i] = 4 + rng.Norm(0, 1.5)
+			vectors[i] = kmeans.Vector{9: 100}
+		}
+	}
+	// Average error over several seeds to avoid a lucky representative.
+	var stratErr, phaseErr float64
+	const trials = 10
+	for s := uint64(0); s < trials; s++ {
+		evals, err := Evaluate(cpis, vectors, 8, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range evals {
+			switch e.Technique {
+			case Stratified:
+				stratErr += e.RelErr
+			case PhaseBased:
+				phaseErr += e.RelErr
+			}
+		}
+	}
+	if stratErr >= phaseErr {
+		t.Fatalf("stratified (%v) not better than phase-based (%v) on noisy cluster", stratErr/trials, phaseErr/trials)
+	}
+}
+
+func TestBudgetClamped(t *testing.T) {
+	cpis := []float64{1, 2, 3}
+	est, n, err := Estimate(Random, cpis, nil, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("n = %d, want clamped to 3", n)
+	}
+	if math.Abs(est-2) > 1e-9 {
+		t.Fatalf("full-sample estimate %v", est)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, _, err := Estimate(Uniform, nil, nil, 3, 1); err == nil {
+		t.Fatal("empty series did not error")
+	}
+	if _, _, err := Estimate(Uniform, []float64{1}, nil, 0, 1); err == nil {
+		t.Fatal("zero budget did not error")
+	}
+	if _, _, err := Estimate(PhaseBased, []float64{1, 2}, nil, 1, 1); err == nil {
+		t.Fatal("phase-based without vectors did not error")
+	}
+}
+
+func TestTechniqueStrings(t *testing.T) {
+	want := map[Technique]string{Uniform: "uniform", Random: "random", PhaseBased: "phase-based", Stratified: "stratified"}
+	for tech, s := range want {
+		if tech.String() != s {
+			t.Errorf("%d.String() = %q", int(tech), tech.String())
+		}
+	}
+	if len(Techniques()) != 4 {
+		t.Fatal("Techniques() incomplete")
+	}
+}
+
+func TestEstimateWithBoundCoverage(t *testing.T) {
+	// The 95% interval should cover the true mean for the vast majority
+	// of seeds.
+	rng := xrand.New(31)
+	cpis := make([]float64, 300)
+	for i := range cpis {
+		cpis[i] = 2 + rng.Norm(0, 0.4)
+	}
+	truth := 0.0
+	for _, c := range cpis {
+		truth += c
+	}
+	truth /= float64(len(cpis))
+	covered := 0
+	const trials = 200
+	for s := uint64(0); s < trials; s++ {
+		b, err := EstimateWithBound(cpis, 30, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.N != 30 || b.Half <= 0 {
+			t.Fatalf("bound %+v malformed", b)
+		}
+		if b.Covers(truth) {
+			covered++
+		}
+	}
+	if covered < trials*85/100 {
+		t.Fatalf("interval covered truth only %d/%d times", covered, trials)
+	}
+}
+
+func TestEstimateWithBoundShrinksWithN(t *testing.T) {
+	rng := xrand.New(33)
+	cpis := make([]float64, 400)
+	for i := range cpis {
+		cpis[i] = 3 + rng.Norm(0, 0.5)
+	}
+	small, _ := EstimateWithBound(cpis, 10, 1)
+	large, _ := EstimateWithBound(cpis, 200, 1)
+	if large.Half >= small.Half {
+		t.Fatalf("bound did not shrink: n=10 %.3f vs n=200 %.3f", small.Half, large.Half)
+	}
+	// Full census has zero sampling error (finite population correction).
+	full, _ := EstimateWithBound(cpis, 400, 1)
+	if full.Half > 1e-9 {
+		t.Fatalf("census bound %.6f, want 0", full.Half)
+	}
+}
+
+func TestEstimateWithBoundErrors(t *testing.T) {
+	if _, err := EstimateWithBound(nil, 5, 1); err == nil {
+		t.Fatal("empty series did not error")
+	}
+	if _, err := EstimateWithBound([]float64{1, 2, 3}, 1, 1); err == nil {
+		t.Fatal("n=1 did not error")
+	}
+}
+
+func TestRequiredSamples(t *testing.T) {
+	rng := xrand.New(41)
+	// Low-variance series: a couple of samples suffice.
+	flat := make([]float64, 300)
+	for i := range flat {
+		flat[i] = 2 + rng.Norm(0, 0.02)
+	}
+	nFlat, err := RequiredSamples(flat, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// High-variance series needs far more for the same target.
+	wild := make([]float64, 300)
+	for i := range wild {
+		wild[i] = 2 + rng.Norm(0, 1.0)
+	}
+	nWild, err := RequiredSamples(wild, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nFlat >= nWild {
+		t.Fatalf("flat series needs %d samples, wild needs %d — ordering wrong", nFlat, nWild)
+	}
+	if nWild > 300 {
+		t.Fatalf("requirement %d exceeds census size", nWild)
+	}
+	// The computed n must actually deliver the target accuracy (check by
+	// averaging realized error over seeds).
+	var worst float64
+	for s := uint64(0); s < 50; s++ {
+		b, err := EstimateWithBound(wild, nWild, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Relative > worst {
+			worst = b.Relative
+		}
+	}
+	if worst > 0.04 { // allow 2x slack over the 2% target
+		t.Fatalf("computed n=%d gave worst-case predicted error %.3f", nWild, worst)
+	}
+}
+
+func TestRequiredSamplesErrors(t *testing.T) {
+	if _, err := RequiredSamples(nil, 0.05); err == nil {
+		t.Fatal("empty series did not error")
+	}
+	if _, err := RequiredSamples([]float64{1}, 0); err == nil {
+		t.Fatal("zero target did not error")
+	}
+	// Constant series: minimum sample count.
+	n, err := RequiredSamples([]float64{2, 2, 2, 2}, 0.01)
+	if err != nil || n != 2 {
+		t.Fatalf("constant series n=%d err=%v", n, err)
+	}
+}

@@ -1,0 +1,134 @@
+package specgen
+
+// TargetQuadrant is the quadrant each analog is calibrated toward. The
+// paper's Table 2 print is partially garbled in the available text, so the
+// per-benchmark placements below are a reconstruction constrained by the
+// facts the prose states unambiguously: 13 SPEC benchmarks in Q-I, seven in
+// Q-III (explicitly including gcc and gap), three in Q-IV, and the rest
+// (three) in Q-II; mcf is the canonical high-variance/strong-phase case.
+// The experiments verify the *measured* placement of every analog against
+// this table.
+var TargetQuadrant = map[string]string{
+	// Q-I: low CPI variance, weak EIP-CPI relationship (13).
+	"twolf": "Q-I", "crafty": "Q-I", "eon": "Q-I", "mesa": "Q-I",
+	"vortex": "Q-I", "perlbmk": "Q-I", "wupwise": "Q-I", "mgrid": "Q-I",
+	"sixtrack": "Q-I", "ammp": "Q-I", "fma3d": "Q-I", "facerec": "Q-I",
+	"lucas": "Q-I",
+	// Q-II: low variance, strong phases (3).
+	"gzip": "Q-II", "bzip2": "Q-II", "applu": "Q-II",
+	// Q-III: high variance, weak phases (7).
+	"gcc": "Q-III", "gap": "Q-III", "vpr": "Q-III", "parser": "Q-III",
+	"equake": "Q-III", "galgel": "Q-III", "apsi": "Q-III",
+	// Q-IV: high variance, strong phases (3).
+	"mcf": "Q-IV", "art": "Q-IV", "swim": "Q-IV",
+}
+
+// steady returns a single-phase Q-I profile: whatever its absolute CPI,
+// interval-averaged CPI is nearly constant.
+func steady(name string, blocks int, loopy bool, baseCPI float64, ws uint64, pat AccessPattern, refs int, brand float64) Profile {
+	return Profile{
+		Name: name,
+		Phases: []Phase{{
+			Name: "main", Blocks: blocks, Loopy: loopy, BaseCPI: baseCPI,
+			WorkingSet: ws, Pattern: pat, RefsPer4: refs, BranchRand: brand,
+			Insts: 1 << 62, // never leaves the phase
+		}},
+	}
+}
+
+// subtle returns a Q-II profile: cyclic phases whose CPI differs slightly.
+func subtle(name string, blocks int, cpiA, cpiB float64, wsA, wsB uint64, lenA, lenB uint64) Profile {
+	return Profile{
+		Name: name,
+		// No length jitter: these codes are metronomic loop nests, and
+		// interval-aligned phases are what keeps their tiny CPI variance
+		// fully code-explained (quadrant Q-II).
+		Jitter: 0,
+		Phases: []Phase{
+			{Name: "a", Blocks: blocks, Loopy: true, BaseCPI: cpiA, WorkingSet: wsA,
+				Pattern: Stream, RefsPer4: 2, BranchRand: 0.02, Insts: lenA},
+			{Name: "b", Blocks: blocks / 2, Loopy: true, BaseCPI: cpiB, WorkingSet: wsB,
+				Pattern: Stream, RefsPer4: 2, BranchRand: 0.02, Insts: lenB},
+		},
+	}
+}
+
+// erratic returns a Q-III profile: one code phase whose hidden data state
+// drifts.
+func erratic(name string, blocks int, baseCPI float64, ws uint64, refs int, brand, bdrift, ilpNoise float64) Profile {
+	return Profile{
+		Name:     name,
+		ILPNoise: ilpNoise,
+		Phases: []Phase{{
+			Name: "main", Blocks: blocks, Loopy: false, BaseCPI: baseCPI,
+			WorkingSet: ws, Pattern: DriftWS, RefsPer4: refs,
+			BranchRand: brand, BranchDrift: bdrift,
+			Insts: 1 << 62,
+		}},
+	}
+}
+
+// contrast returns a Q-IV profile: cyclic phases with very different CPI.
+func contrast(name string, cheap, dear Phase, lenCheap, lenDear uint64) Profile {
+	cheap.Insts, dear.Insts = lenCheap, lenDear
+	return Profile{Name: name, Jitter: 0.10, Phases: []Phase{cheap, dear}}
+}
+
+// Profiles returns the 26 calibrated SPEC CPU2K analogs.
+func Profiles() []Profile {
+	kb := func(n uint64) uint64 { return n << 10 }
+	mb := func(n uint64) uint64 { return n << 20 }
+
+	return []Profile{
+		// ---- Q-I: steady integer codes ----
+		steady("twolf", 900, false, 0.85, kb(320), RandomWS, 2, 0.10),
+		steady("crafty", 1400, false, 0.70, kb(96), RandomWS, 2, 0.12),
+		steady("eon", 1100, false, 0.65, kb(64), RandomWS, 1, 0.06),
+		steady("mesa", 800, true, 0.55, mb(1), Stream, 2, 0.03),
+		steady("vortex", 2600, false, 0.80, kb(768), RandomWS, 2, 0.08),
+		steady("perlbmk", 2200, false, 0.75, kb(256), RandomWS, 2, 0.10),
+		// ---- Q-I: steady floating-point codes ----
+		steady("wupwise", 400, true, 0.50, mb(2), Stream, 3, 0.01),
+		steady("mgrid", 240, true, 0.48, mb(4), Stream, 3, 0.01),
+		steady("sixtrack", 700, true, 0.60, kb(512), Stream, 2, 0.02),
+		steady("ammp", 600, false, 0.90, mb(2), RandomWS, 2, 0.04),
+		steady("fma3d", 1000, true, 0.62, mb(3), Stream, 2, 0.02),
+		steady("facerec", 500, true, 0.58, mb(1), Stream, 2, 0.02),
+		steady("lucas", 300, true, 0.52, mb(2), Stream, 3, 0.01),
+
+		// ---- Q-II: subtle cyclic phases (long phases keep interval
+		// boundaries rare, so EIPVs explain nearly all the variance) ----
+		subtle("gzip", 500, 0.55, 0.75, kb(256), kb(64), 1_500_000, 1_100_000),
+		subtle("bzip2", 600, 0.60, 0.76, kb(512), kb(128), 1_700_000, 1_200_000),
+		subtle("applu", 350, 0.50, 0.68, mb(2), kb(256), 1_900_000, 1_400_000),
+
+		// ---- Q-III: drifting hidden state under unchanged code ----
+		erratic("gcc", 3200, 0.75, kb(192), 1, 0.10, 0.22, 0.18),
+		erratic("gap", 1800, 0.80, kb(384), 2, 0.06, 0.10, 0.25),
+		erratic("vpr", 900, 0.78, kb(256), 2, 0.08, 0.15, 0.16),
+		erratic("parser", 1300, 0.82, kb(320), 2, 0.09, 0.16, 0.15),
+		erratic("equake", 450, 0.65, mb(1), 3, 0.03, 0.04, 0.22),
+		erratic("galgel", 520, 0.60, kb(768), 3, 0.02, 0.03, 0.24),
+		erratic("apsi", 640, 0.66, mb(1), 2, 0.04, 0.05, 0.20),
+
+		// ---- Q-IV: high-contrast cyclic phases ----
+		contrast("mcf",
+			Phase{Name: "refresh", Blocks: 180, Loopy: true, BaseCPI: 0.7,
+				WorkingSet: kb(512), Pattern: Stream, RefsPer4: 2, BranchRand: 0.05},
+			Phase{Name: "chase", Blocks: 120, Loopy: true, BaseCPI: 1.0,
+				WorkingSet: mb(24), Pattern: PointerChase, RefsPer4: 3, BranchRand: 0.15},
+			500_000, 900_000),
+		contrast("art",
+			Phase{Name: "train", Blocks: 160, Loopy: true, BaseCPI: 0.55,
+				WorkingSet: kb(256), Pattern: Stream, RefsPer4: 2, BranchRand: 0.02},
+			Phase{Name: "match", Blocks: 140, Loopy: true, BaseCPI: 0.75,
+				WorkingSet: mb(8), Pattern: RandomWS, RefsPer4: 3, BranchRand: 0.04},
+			600_000, 800_000),
+		contrast("swim",
+			Phase{Name: "stencil", Blocks: 120, Loopy: true, BaseCPI: 0.5,
+				WorkingSet: mb(16), Pattern: Stream, RefsPer4: 3, BranchRand: 0.01},
+			Phase{Name: "update", Blocks: 90, Loopy: true, BaseCPI: 0.6,
+				WorkingSet: mb(12), Pattern: RandomWS, RefsPer4: 3, BranchRand: 0.02},
+			700_000, 700_000),
+	}
+}

@@ -1,0 +1,232 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestAccBasics(t *testing.T) {
+	var a Acc
+	if a.N() != 0 || a.Mean() != 0 || a.Var() != 0 {
+		t.Fatal("zero-value Acc not empty")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		a.Add(x)
+	}
+	if a.N() != 8 {
+		t.Fatalf("N = %d, want 8", a.N())
+	}
+	if !almostEq(a.Mean(), 5, 1e-12) {
+		t.Fatalf("Mean = %v, want 5", a.Mean())
+	}
+	if !almostEq(a.Var(), 4, 1e-12) {
+		t.Fatalf("Var = %v, want 4", a.Var())
+	}
+	if !almostEq(a.SampleVar(), 32.0/7.0, 1e-12) {
+		t.Fatalf("SampleVar = %v, want %v", a.SampleVar(), 32.0/7.0)
+	}
+	if !almostEq(a.Stddev(), 2, 1e-12) {
+		t.Fatalf("Stddev = %v, want 2", a.Stddev())
+	}
+}
+
+func TestAccMatchesSliceFunctions(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		n := 1 + r.Intn(200)
+		xs := make([]float64, n)
+		var a Acc
+		for i := range xs {
+			xs[i] = r.Norm(3, 10)
+			a.Add(xs[i])
+		}
+		return almostEq(a.Mean(), Mean(xs), 1e-9) && almostEq(a.Var(), Var(xs), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccMerge(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		var whole, left, right Acc
+		nl, nr := r.Intn(100), r.Intn(100)
+		for i := 0; i < nl; i++ {
+			x := r.Norm(0, 5)
+			whole.Add(x)
+			left.Add(x)
+		}
+		for i := 0; i < nr; i++ {
+			x := r.Norm(100, 1)
+			whole.Add(x)
+			right.Add(x)
+		}
+		left.Merge(&right)
+		return left.N() == whole.N() &&
+			almostEq(left.Mean(), whole.Mean(), 1e-8) &&
+			almostEq(left.Var(), whole.Var(), 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccMergeEmpty(t *testing.T) {
+	var a, b Acc
+	a.Add(1)
+	a.Add(3)
+	a.Merge(&b) // merging empty is a no-op
+	if a.N() != 2 || !almostEq(a.Mean(), 2, 1e-12) {
+		t.Fatal("merge with empty changed accumulator")
+	}
+	b.Merge(&a) // merging into empty copies
+	if b.N() != 2 || !almostEq(b.Mean(), 2, 1e-12) {
+		t.Fatal("merge into empty did not copy")
+	}
+}
+
+func TestAddN(t *testing.T) {
+	var a, b Acc
+	a.AddN(3.5, 4)
+	for i := 0; i < 4; i++ {
+		b.Add(3.5)
+	}
+	if a.N() != b.N() || a.Mean() != b.Mean() || a.Var() != b.Var() {
+		t.Fatal("AddN differs from repeated Add")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 4, 1, 5, -9, 2, 6}
+	if Min(xs) != -9 {
+		t.Fatalf("Min = %v", Min(xs))
+	}
+	if Max(xs) != 6 {
+		t.Fatalf("Max = %v", Max(xs))
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if got := Quantile([]float64{42}, 0.7); got != 42 {
+		t.Errorf("single-element quantile = %v", got)
+	}
+	// Interpolation between order statistics.
+	if got := Quantile([]float64{0, 10}, 0.25); !almostEq(got, 2.5, 1e-12) {
+		t.Errorf("interpolated quantile = %v, want 2.5", got)
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{5, 1, 3}
+	Quantile(xs, 0.5)
+	if xs[0] != 5 || xs[1] != 1 || xs[2] != 3 {
+		t.Fatal("Quantile mutated its input")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if got := Median([]float64{9, 1, 5}); got != 5 {
+		t.Fatalf("Median = %v, want 5", got)
+	}
+}
+
+func TestCorr(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{2, 4, 6, 8}
+	if got := Corr(xs, ys); !almostEq(got, 1, 1e-12) {
+		t.Fatalf("perfect positive Corr = %v", got)
+	}
+	neg := []float64{8, 6, 4, 2}
+	if got := Corr(xs, neg); !almostEq(got, -1, 1e-12) {
+		t.Fatalf("perfect negative Corr = %v", got)
+	}
+	flat := []float64{5, 5, 5, 5}
+	if got := Corr(xs, flat); got != 0 {
+		t.Fatalf("zero-variance Corr = %v, want 0", got)
+	}
+}
+
+func TestCorrBounds(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		n := 2 + r.Intn(100)
+		xs, ys := make([]float64, n), make([]float64, n)
+		for i := range xs {
+			xs[i] = r.Norm(0, 1)
+			ys[i] = r.Norm(0, 1)
+		}
+		c := Corr(xs, ys)
+		return c >= -1-1e-9 && c <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{-1, 0, 1.9, 2, 5, 9.9, 10, 100} {
+		h.Add(x)
+	}
+	want := []int{3, 1, 1, 0, 3} // -1,0,1.9 | 2 | 5 | | 9.9,10,100
+	for i, w := range want {
+		if h.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, h.Counts[i], w, h.Counts)
+		}
+	}
+	if h.Total() != 8 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	if !almostEq(h.Frac(0), 3.0/8.0, 1e-12) {
+		t.Fatalf("Frac(0) = %v", h.Frac(0))
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"zero buckets": func() { NewHistogram(0, 1, 0) },
+		"hi<=lo":       func() { NewHistogram(1, 1, 4) },
+		"empty min":    func() { Min(nil) },
+		"empty max":    func() { Max(nil) },
+		"bad q":        func() { Quantile([]float64{1}, 1.5) },
+		"corr len":     func() { Corr([]float64{1}, []float64{1, 2}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestVarEdgeCases(t *testing.T) {
+	if Var(nil) != 0 {
+		t.Fatal("Var(nil) != 0")
+	}
+	if Var([]float64{7}) != 0 {
+		t.Fatal("Var of single element != 0")
+	}
+	var a Acc
+	a.Add(7)
+	if a.SampleVar() != 0 {
+		t.Fatal("SampleVar of single element != 0")
+	}
+}

@@ -1,0 +1,10 @@
+// Package all links every workload implementation into the registry.
+// Import it (blank) wherever workloads are looked up by name.
+package all
+
+import (
+	_ "repro/internal/appserver" // sjas
+	_ "repro/internal/db"        // odb-h.q1..q22
+	_ "repro/internal/oltp"      // odb-c
+	_ "repro/internal/specgen"   // spec.*
+)

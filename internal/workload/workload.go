@@ -1,0 +1,276 @@
+// Package workload defines the common machinery every workload model in
+// this repository is built from: the time scale that maps the simulation to
+// the paper's numbers, code regions that give logical routines honest
+// instruction footprints, a burst-based event generator abstraction, and
+// the Workload interface the experiment harness runs.
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/addr"
+	"repro/internal/cpu"
+	"repro/internal/osim"
+)
+
+// The simulation's instruction scale. One simulated instruction stands for
+// Scale real instructions; every interval/period parameter from the paper
+// is divided by Scale. The ratios the analysis depends on (samples per
+// EIPV, switches per second, OS fraction) are preserved exactly.
+const (
+	// Scale is the real-instructions-per-simulated-instruction factor.
+	Scale = 1000
+
+	// IntervalInsts is the EIPV interval length in simulated instructions
+	// (paper: 100M real instructions, §3.2).
+	IntervalInsts = 100_000
+
+	// SamplePeriod is the default profiler period in simulated
+	// instructions (paper: one sample per 1M retired instructions, §3.1),
+	// giving the paper's 100 samples per EIPV.
+	SamplePeriod = 1000
+
+	// SamplePeriodFine is the SjAS period (paper: 1 per 100K, §3.1).
+	SamplePeriodFine = 100
+
+	// ClockHz is the modeled core frequency (paper: 900MHz Itanium 2).
+	// Together with Scale it converts simulated cycles to real seconds:
+	// one simulated cycle stands for Scale real cycles.
+	ClockHz = 900e6
+)
+
+// Seconds converts a simulated cycle count to modeled wall-clock seconds.
+func Seconds(cycles uint64) float64 {
+	return float64(cycles) * Scale / ClockHz
+}
+
+// CodeRegion is a logical routine (or subsystem) occupying a contiguous
+// code region of `blocks` distinct basic blocks, one 64-byte line apart.
+// Walking a region touches its addresses for real, so instruction-cache
+// pressure emerges from footprint rather than from an assumed miss rate.
+type CodeRegion struct {
+	Region addr.Region
+	blocks int
+	walk   uint64
+	seq    int
+	hot    int
+}
+
+// BlockSpacing is the byte distance between block addresses in a region.
+const BlockSpacing = 64
+
+// NewCodeRegion allocates a region of the given number of distinct blocks.
+// It panics if blocks <= 0.
+func NewCodeRegion(space *addr.Space, name string, blocks int) *CodeRegion {
+	if blocks <= 0 {
+		panic(fmt.Sprintf("workload: NewCodeRegion %q blocks=%d", name, blocks))
+	}
+	r := space.AllocCode(name, uint64(blocks)*BlockSpacing)
+	return &CodeRegion{Region: r, blocks: blocks, walk: r.Base ^ 0x9e3779b97f4a7c15}
+}
+
+// Blocks returns the number of distinct block addresses.
+func (c *CodeRegion) Blocks() int { return c.blocks }
+
+// PC returns the address of block i (mod the region size).
+func (c *CodeRegion) PC(i int) uint64 {
+	i %= c.blocks
+	if i < 0 {
+		i += c.blocks
+	}
+	return c.Region.Base + uint64(i)*BlockSpacing
+}
+
+// NextPC returns the next address of a deterministic pseudo-random walk
+// over the region, modeling control flow that wanders a large routine.
+func (c *CodeRegion) NextPC() uint64 {
+	c.walk = c.walk*6364136223846793005 + 1442695040888963407
+	return c.PC(int((c.walk >> 33) % uint64(c.blocks)))
+}
+
+// SeqPC returns the next address of a sequential wrap-around walk,
+// modeling straight-line/loopy code.
+func (c *CodeRegion) SeqPC() uint64 {
+	pc := c.PC(c.seq)
+	c.seq = (c.seq + 1) % c.blocks
+	return pc
+}
+
+// hotWindow is the size (in blocks) of HotPC's locality window, and
+// hotShift is how often (in calls) the window slides.
+const (
+	hotWindow = 192
+	hotShift  = 1024
+)
+
+// HotPC models realistic large-code locality: most fetches come from a
+// slowly-sliding hot window of the region (the currently active code
+// paths), with a minority scattered region-wide. Over a long run the walk
+// still covers the whole footprint — the "large but flat" EIP profile of
+// the server workloads — without charging a cold instruction miss on every
+// single block.
+func (c *CodeRegion) HotPC() uint64 {
+	c.walk = c.walk*6364136223846793005 + 1442695040888963407
+	r := c.walk >> 33
+	c.hot++
+	base := (c.hot / hotShift * (hotWindow / 3)) % c.blocks
+	if r%10 < 7 && c.blocks > hotWindow {
+		return c.PC(base + int(r%hotWindow))
+	}
+	return c.PC(int(r % uint64(c.blocks)))
+}
+
+// Emitter buffers the block events produced by one burst of workload
+// execution, so workload logic can be written as ordinary sequential code
+// while the scheduler consumes events one at a time.
+type Emitter struct {
+	items []item
+	head  int
+	done  bool
+	insts uint64
+}
+
+type item struct {
+	ev   cpu.BlockEvent
+	wait uint64 // >0: block for this many cycles instead of retiring
+}
+
+// Emit appends a computed block event (copied).
+func (e *Emitter) Emit(ev *cpu.BlockEvent) {
+	e.items = append(e.items, item{ev: *ev})
+	e.insts += uint64(ev.Insts)
+}
+
+// EmitBlock is a convenience for the common case: one block at pc with the
+// given size and inherent CPI, no memory references.
+func (e *Emitter) EmitBlock(pc uint64, insts int, baseCPI float64) {
+	e.items = append(e.items, item{ev: cpu.BlockEvent{PC: pc, Insts: insts, BaseCPI: baseCPI}})
+	e.insts += uint64(insts)
+}
+
+// InstsEmitted returns the cumulative instruction count of all events ever
+// emitted through this emitter (generators use it to align their work to
+// measurement boundaries).
+func (e *Emitter) InstsEmitted() uint64 { return e.insts }
+
+// Wait appends a blocking I/O wait of the given duration.
+func (e *Emitter) Wait(cycles uint64) {
+	e.items = append(e.items, item{wait: cycles})
+}
+
+// Done marks the generator finished; no more bursts will be requested.
+func (e *Emitter) Done() { e.done = true }
+
+// Pending returns the number of undelivered items.
+func (e *Emitter) Pending() int { return len(e.items) - e.head }
+
+func (e *Emitter) pop() (item, bool) {
+	if e.head >= len(e.items) {
+		// Reset the buffer for the next burst, reusing capacity.
+		e.items = e.items[:0]
+		e.head = 0
+		return item{}, false
+	}
+	it := e.items[e.head]
+	e.head++
+	return it, true
+}
+
+// Gen is a workload thread's logic: Burst is called whenever the event
+// queue runs dry and must either emit at least one item or call Done.
+type Gen interface {
+	Burst(e *Emitter)
+}
+
+// GenFunc adapts a function to Gen.
+type GenFunc func(e *Emitter)
+
+// Burst implements Gen.
+func (f GenFunc) Burst(e *Emitter) { f(e) }
+
+// genRunner adapts a Gen to the scheduler's pull-based Runner interface.
+type genRunner struct {
+	gen Gen
+	em  Emitter
+}
+
+// NewRunner wraps a burst generator as a scheduler Runner.
+func NewRunner(g Gen) osim.Runner { return &genRunner{gen: g} }
+
+// Step implements osim.Runner.
+func (r *genRunner) Step(ev *cpu.BlockEvent) (osim.Action, uint64) {
+	for {
+		if it, ok := r.em.pop(); ok {
+			if it.wait > 0 {
+				return osim.ActionBlock, it.wait
+			}
+			*ev = it.ev
+			return osim.ActionRun, 0
+		}
+		if r.em.done {
+			return osim.ActionDone, 0
+		}
+		before := len(r.em.items)
+		r.gen.Burst(&r.em)
+		if !r.em.done && len(r.em.items) == before {
+			panic("workload: Burst made no progress")
+		}
+	}
+}
+
+// Workload is a complete benchmark: it builds its threads onto a scheduler
+// and declares its preferred profiler sampling period.
+type Workload interface {
+	// Name returns the benchmark's identifier (e.g. "odb-c", "q13",
+	// "gcc").
+	Name() string
+
+	// SamplePeriod returns the profiler period in simulated instructions.
+	SamplePeriod() uint64
+
+	// Setup registers the workload's threads with the scheduler. The
+	// workload allocates its code and data regions from space and must use
+	// seed for all randomness.
+	Setup(sched *osim.Sched, space *addr.Space, seed uint64)
+}
+
+// Factory constructs a fresh workload instance.
+type Factory func() Workload
+
+var (
+	regMu    sync.Mutex
+	registry = map[string]Factory{}
+)
+
+// Register adds a workload factory under its name. It panics on duplicate
+// registration (a programming error).
+func Register(name string, f Factory) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("workload: duplicate registration %q", name))
+	}
+	registry[name] = f
+}
+
+// Lookup returns the factory for name.
+func Lookup(name string) (Factory, bool) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	f, ok := registry[name]
+	return f, ok
+}
+
+// Names returns all registered workload names, sorted.
+func Names() []string {
+	regMu.Lock()
+	defer regMu.Unlock()
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

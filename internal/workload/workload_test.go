@@ -1,0 +1,204 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/cpu"
+	"repro/internal/osim"
+)
+
+func TestCodeRegionPCsDistinctAndContained(t *testing.T) {
+	space := addr.NewSpace()
+	c := NewCodeRegion(space, "f", 100)
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		pc := c.PC(i)
+		if !c.Region.Contains(pc) {
+			t.Fatalf("PC(%d)=%#x outside region %v", i, pc, c.Region)
+		}
+		if seen[pc] {
+			t.Fatalf("duplicate PC %#x", pc)
+		}
+		seen[pc] = true
+	}
+	if c.PC(100) != c.PC(0) {
+		t.Fatal("PC does not wrap")
+	}
+	if c.PC(-1) != c.PC(99) {
+		t.Fatal("negative PC index mishandled")
+	}
+}
+
+func TestNextPCCoversRegion(t *testing.T) {
+	space := addr.NewSpace()
+	c := NewCodeRegion(space, "f", 64)
+	seen := map[uint64]bool{}
+	for i := 0; i < 4000; i++ {
+		pc := c.NextPC()
+		if !c.Region.Contains(pc) {
+			t.Fatalf("walk escaped region: %#x", pc)
+		}
+		seen[pc] = true
+	}
+	if len(seen) < 60 {
+		t.Fatalf("random walk covered only %d/64 blocks", len(seen))
+	}
+}
+
+func TestSeqPCCycles(t *testing.T) {
+	space := addr.NewSpace()
+	c := NewCodeRegion(space, "f", 5)
+	first := make([]uint64, 5)
+	for i := range first {
+		first[i] = c.SeqPC()
+	}
+	for i := 0; i < 5; i++ {
+		if c.SeqPC() != first[i] {
+			t.Fatal("SeqPC second cycle differs")
+		}
+	}
+}
+
+func TestEmitterFIFO(t *testing.T) {
+	var e Emitter
+	e.EmitBlock(1, 10, 0.5)
+	e.EmitBlock(2, 20, 0.5)
+	e.Wait(99)
+	it, ok := e.pop()
+	if !ok || it.ev.PC != 1 {
+		t.Fatalf("pop1 = %+v %v", it, ok)
+	}
+	it, _ = e.pop()
+	if it.ev.PC != 2 {
+		t.Fatalf("pop2 = %+v", it)
+	}
+	it, _ = e.pop()
+	if it.wait != 99 {
+		t.Fatalf("pop3 = %+v", it)
+	}
+	if _, ok := e.pop(); ok {
+		t.Fatal("pop on empty succeeded")
+	}
+	// Buffer must be reusable after drain.
+	e.EmitBlock(3, 5, 1)
+	if it, ok := e.pop(); !ok || it.ev.PC != 3 {
+		t.Fatal("reuse after drain failed")
+	}
+}
+
+func TestRunnerDeliversBurstsInOrder(t *testing.T) {
+	n := 0
+	g := GenFunc(func(e *Emitter) {
+		if n >= 3 {
+			e.Done()
+			return
+		}
+		n++
+		e.EmitBlock(uint64(n*100), 10, 0.5)
+		e.EmitBlock(uint64(n*100+1), 10, 0.5)
+	})
+	r := NewRunner(g)
+	var got []uint64
+	var ev cpu.BlockEvent
+	for {
+		act, _ := r.Step(&ev)
+		if act == osim.ActionDone {
+			break
+		}
+		if act != osim.ActionRun {
+			t.Fatalf("unexpected action %v", act)
+		}
+		got = append(got, ev.PC)
+	}
+	want := []uint64{100, 101, 200, 201, 300, 301}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRunnerDeliversWaits(t *testing.T) {
+	first := true
+	g := GenFunc(func(e *Emitter) {
+		if !first {
+			e.Done()
+			return
+		}
+		first = false
+		e.EmitBlock(1, 10, 0.5)
+		e.Wait(777)
+		e.EmitBlock(2, 10, 0.5)
+	})
+	r := NewRunner(g)
+	var ev cpu.BlockEvent
+	acts := []osim.Action{}
+	waits := []uint64{}
+	for {
+		act, w := r.Step(&ev)
+		if act == osim.ActionDone {
+			break
+		}
+		acts = append(acts, act)
+		waits = append(waits, w)
+	}
+	if len(acts) != 3 || acts[1] != osim.ActionBlock || waits[1] != 777 {
+		t.Fatalf("acts=%v waits=%v", acts, waits)
+	}
+}
+
+func TestRunnerPanicsOnStuckGen(t *testing.T) {
+	r := NewRunner(GenFunc(func(e *Emitter) {})) // never emits, never Done
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on no-progress generator")
+		}
+	}()
+	var ev cpu.BlockEvent
+	r.Step(&ev)
+}
+
+func TestRegistry(t *testing.T) {
+	Register("test-wl-registry", func() Workload { return nil })
+	if _, ok := Lookup("test-wl-registry"); !ok {
+		t.Fatal("registered workload not found")
+	}
+	if _, ok := Lookup("no-such-workload"); ok {
+		t.Fatal("lookup of unknown workload succeeded")
+	}
+	found := false
+	for _, n := range Names() {
+		if n == "test-wl-registry" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("Names missing registered workload")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	Register("test-wl-registry", func() Workload { return nil })
+}
+
+func TestSeconds(t *testing.T) {
+	// One simulated cycle = Scale real cycles at ClockHz.
+	if got := Seconds(900_000); got < 0.999 || got > 1.001 {
+		t.Fatalf("Seconds(900k) = %v, want ~1", got)
+	}
+}
+
+func TestScaleRatios(t *testing.T) {
+	if IntervalInsts/SamplePeriod != 100 {
+		t.Fatalf("interval/period = %d, paper requires 100 samples per EIPV", IntervalInsts/SamplePeriod)
+	}
+	if SamplePeriod/SamplePeriodFine != 10 {
+		t.Fatal("SjAS sampling must be 10x finer")
+	}
+}

@@ -1,0 +1,215 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("draw %d: %d != %d", i, av, bv)
+		}
+	}
+}
+
+func TestSeedsDiverge(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("adjacent seeds produced %d identical draws", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Split(1)
+	c2 := parent.Split(2)
+	if c1.Uint64() == c2.Uint64() {
+		t.Fatal("split children with different labels coincide")
+	}
+	// Splitting must not perturb the parent stream.
+	p1 := New(7)
+	p1.Split(1)
+	p1.Split(2)
+	p2 := New(7)
+	p2.Split(1)
+	p2.Split(2)
+	if p1.Uint64() != p2.Uint64() {
+		t.Fatal("parent stream depends on split usage")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(5)
+	seen := make(map[int]bool)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Fatalf("Intn(7) hit only %d of 7 values", len(seen))
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestRange(t *testing.T) {
+	r := New(9)
+	for i := 0; i < 1000; i++ {
+		v := r.Range(-3, 3)
+		if v < -3 || v > 3 {
+			t.Fatalf("Range out of bounds: %d", v)
+		}
+	}
+	if got := r.Range(5, 5); got != 5 {
+		t.Fatalf("degenerate Range = %d, want 5", got)
+	}
+}
+
+func TestUniformity(t *testing.T) {
+	r := New(11)
+	const buckets, draws = 16, 160000
+	counts := make([]int, buckets)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(buckets)]++
+	}
+	want := float64(draws) / buckets
+	for b, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Fatalf("bucket %d count %d far from expected %.0f", b, c, want)
+		}
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := New(13)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Exp(4.0)
+	}
+	mean := sum / n
+	if math.Abs(mean-4.0) > 0.1 {
+		t.Fatalf("Exp mean %v, want ~4.0", mean)
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	r := New(17)
+	const n = 200000
+	sum, sumsq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.Norm(10, 2)
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean-10) > 0.05 {
+		t.Fatalf("Norm mean %v, want ~10", mean)
+	}
+	if math.Abs(variance-4) > 0.2 {
+		t.Fatalf("Norm variance %v, want ~4", variance)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := New(seed)
+		p := make([]int, 20)
+		r.Perm(p)
+		seen := make([]bool, 20)
+		for _, v := range p {
+			if v < 0 || v >= 20 || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	z := NewZipf(1000, 1.0)
+	r := New(19)
+	counts := make([]int, 1000)
+	for i := 0; i < 100000; i++ {
+		counts[z.Draw(r)]++
+	}
+	if counts[0] <= counts[99] {
+		t.Fatalf("Zipf not skewed: rank0=%d rank99=%d", counts[0], counts[99])
+	}
+	// Harmonic ratio: P(0)/P(1) should be ~2 for s=1.
+	ratio := float64(counts[0]) / float64(counts[1]+1)
+	if ratio < 1.5 || ratio > 2.7 {
+		t.Fatalf("Zipf s=1 rank ratio %v, want ~2", ratio)
+	}
+}
+
+func TestZipfUniformWhenSZero(t *testing.T) {
+	z := NewZipf(10, 0)
+	r := New(23)
+	counts := make([]int, 10)
+	for i := 0; i < 100000; i++ {
+		counts[z.Draw(r)]++
+	}
+	for i, c := range counts {
+		if c < 8500 || c > 11500 {
+			t.Fatalf("s=0 bucket %d count %d not ~10000", i, c)
+		}
+	}
+}
+
+func TestZipfDrawInRange(t *testing.T) {
+	f := func(seed uint64) bool {
+		z := NewZipf(37, 1.2)
+		r := New(seed)
+		for i := 0; i < 100; i++ {
+			if v := z.Draw(r); v < 0 || v >= 37 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		r.Uint64()
+	}
+}
