@@ -1,0 +1,23 @@
+# Tier-1 verification plus race/vet hygiene in one command: `make check`.
+GO ?= go
+
+.PHONY: build test race vet bench check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# One pass over every benchmark; doubles as the reproduction harness
+# (EXPERIMENTS.md records paper-vs-measured per benchmark).
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x -timeout 60m ./...
+
+check: build vet test race

@@ -11,7 +11,9 @@
 package fuzzyphase
 
 import (
+	"fmt"
 	"os"
+	"runtime"
 	"testing"
 
 	"repro/internal/experiment"
@@ -30,6 +32,11 @@ func report(b *testing.B, name string, v float64) {
 	b.ReportMetric(v, name)
 }
 
+// cold drops the memoized Analyze results so every iteration measures the
+// full simulation pipeline rather than a cache lookup (warm-cache behaviour
+// is measured explicitly by BenchmarkAnalyzeCached).
+func cold() { experiment.InvalidateAnalysisCache() }
+
 func BenchmarkTable1ExampleTree(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		t1 := experiment.Table1()
@@ -41,6 +48,7 @@ func BenchmarkTable1ExampleTree(b *testing.B) {
 
 func BenchmarkFigure2RelativeError(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		cold()
 		curves, err := experiment.Figure2(benchOpt())
 		if err != nil {
 			b.Fatal(err)
@@ -52,6 +60,7 @@ func BenchmarkFigure2RelativeError(b *testing.B) {
 
 func BenchmarkFigure3Spread(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		cold()
 		spreads, err := experiment.Figure3(benchOpt())
 		if err != nil {
 			b.Fatal(err)
@@ -63,6 +72,7 @@ func BenchmarkFigure3Spread(b *testing.B) {
 
 func BenchmarkFigure4CPIBreakdownODBC(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		cold()
 		bd, err := experiment.Figure4(benchOpt())
 		if err != nil {
 			b.Fatal(err)
@@ -73,6 +83,7 @@ func BenchmarkFigure4CPIBreakdownODBC(b *testing.B) {
 
 func BenchmarkFigure5CPIBreakdownSjAS(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		cold()
 		bd, err := experiment.Figure5(benchOpt())
 		if err != nil {
 			b.Fatal(err)
@@ -83,6 +94,7 @@ func BenchmarkFigure5CPIBreakdownSjAS(b *testing.B) {
 
 func BenchmarkFigure6ThreadSeparationODBC(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		cold()
 		tc, err := experiment.Figure6(benchOpt())
 		if err != nil {
 			b.Fatal(err)
@@ -94,6 +106,7 @@ func BenchmarkFigure6ThreadSeparationODBC(b *testing.B) {
 
 func BenchmarkFigure7ThreadSeparationSjAS(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		cold()
 		tc, err := experiment.Figure7(benchOpt())
 		if err != nil {
 			b.Fatal(err)
@@ -105,6 +118,7 @@ func BenchmarkFigure7ThreadSeparationSjAS(b *testing.B) {
 
 func BenchmarkFigure8Q13RelativeError(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		cold()
 		c, err := experiment.Figure8(benchOpt())
 		if err != nil {
 			b.Fatal(err)
@@ -116,6 +130,7 @@ func BenchmarkFigure8Q13RelativeError(b *testing.B) {
 
 func BenchmarkFigure9Q13Spread(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		cold()
 		s, err := experiment.Figure9(benchOpt())
 		if err != nil {
 			b.Fatal(err)
@@ -126,6 +141,7 @@ func BenchmarkFigure9Q13Spread(b *testing.B) {
 
 func BenchmarkFigure10Q18RelativeError(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		cold()
 		c, err := experiment.Figure10(benchOpt())
 		if err != nil {
 			b.Fatal(err)
@@ -136,6 +152,7 @@ func BenchmarkFigure10Q18RelativeError(b *testing.B) {
 
 func BenchmarkFigure11Q18Spread(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		cold()
 		s, err := experiment.Figure11(benchOpt())
 		if err != nil {
 			b.Fatal(err)
@@ -146,6 +163,7 @@ func BenchmarkFigure11Q18Spread(b *testing.B) {
 
 func BenchmarkFigure12Q18Breakdown(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		cold()
 		bd, err := experiment.Figure12(benchOpt())
 		if err != nil {
 			b.Fatal(err)
@@ -167,6 +185,7 @@ func BenchmarkFigure13QuadrantSpace(b *testing.B) {
 // classification. One iteration takes on the order of a minute.
 func BenchmarkTable2Quadrants(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		cold()
 		rows, err := experiment.Table2(benchOpt(), nil)
 		if err != nil {
 			b.Fatal(err)
@@ -185,6 +204,7 @@ func BenchmarkTable2Quadrants(b *testing.B) {
 func BenchmarkSection46TreeVsKMeans(b *testing.B) {
 	names := []string{"odb-h.q13", "odb-h.q18", "spec.mcf", "spec.gzip"}
 	for i := 0; i < b.N; i++ {
+		cold()
 		rows, err := experiment.Section46(names, benchOpt())
 		if err != nil {
 			b.Fatal(err)
@@ -206,6 +226,7 @@ func BenchmarkSection46TreeVsKMeans(b *testing.B) {
 func BenchmarkSection7SamplingTechniques(b *testing.B) {
 	names := []string{"odb-c", "odb-h.q13", "odb-h.q18", "spec.mcf"}
 	for i := 0; i < b.N; i++ {
+		cold()
 		rows, err := experiment.Section7Sampling(names, 8, benchOpt())
 		if err != nil {
 			b.Fatal(err)
@@ -218,6 +239,7 @@ func BenchmarkSection7SamplingTechniques(b *testing.B) {
 
 func BenchmarkSection71IntervalSweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		cold()
 		rows, err := experiment.Section71Intervals([]string{"odb-h.q13", "spec.mcf"}, benchOpt())
 		if err != nil {
 			b.Fatal(err)
@@ -229,6 +251,7 @@ func BenchmarkSection71IntervalSweep(b *testing.B) {
 
 func BenchmarkSection71MachineSweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		cold()
 		rows, err := experiment.Section71Machines([]string{"odb-h.q13", "spec.mcf"}, benchOpt())
 		if err != nil {
 			b.Fatal(err)
@@ -245,6 +268,7 @@ func BenchmarkSection71MachineSweep(b *testing.B) {
 // relative error (the paper caps trees at 50 chambers, §4.3).
 func BenchmarkAblationMaxLeaves(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		cold()
 		for _, leaves := range []int{5, 15, 50} {
 			opt := benchOpt()
 			opt.MaxLeaves = leaves
@@ -269,6 +293,7 @@ func BenchmarkAblationMaxLeaves(b *testing.B) {
 // 10x finer to catch JIT churn, §3.1).
 func BenchmarkAblationSamplingPeriod(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		cold()
 		fine, err := Analyze("sjas", benchOpt())
 		if err != nil {
 			b.Fatal(err)
@@ -289,6 +314,7 @@ func BenchmarkAblationSamplingPeriod(b *testing.B) {
 // phase-structured workloads.
 func BenchmarkAblationPageBucketedEIPs(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		cold()
 		res, err := Analyze("odb-h.q13", benchOpt())
 		if err != nil {
 			b.Fatal(err)
@@ -330,6 +356,7 @@ func pageBucketRE(b *testing.B, res *Result) (float64, int) {
 // thesis in one ablation.
 func BenchmarkAblationJoinAlgorithm(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		cold()
 		hash, err := Analyze("odb-h.q3", benchOpt())
 		if err != nil {
 			b.Fatal(err)
@@ -359,8 +386,58 @@ func BenchmarkSection33BBVComparison(b *testing.B) {
 // BenchmarkEndToEndAnalyze is the overall pipeline cost benchmark.
 func BenchmarkEndToEndAnalyze(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		cold()
 		if _, err := Analyze("spec.gzip", benchOpt()); err != nil {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- Parallel engine (ISSUE 1) ---
+
+// BenchmarkTable2Parallel regenerates the 50-workload classification at
+// several worker counts. Wall-clock scales with available cores; the
+// rendered classification is identical at every setting.
+func BenchmarkTable2Parallel(b *testing.B) {
+	for _, workers := range []int{1, 4, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			opt := benchOpt()
+			opt.Parallelism = workers
+			for i := 0; i < b.N; i++ {
+				cold()
+				rows, err := experiment.Table2(opt, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				report(b, "workloads", float64(len(rows)))
+			}
+		})
+	}
+}
+
+// BenchmarkAnalyzeCached measures the memoization win: cold runs the full
+// pipeline every iteration, warm serves the result from the cache.
+func BenchmarkAnalyzeCached(b *testing.B) {
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cold()
+			if _, err := Analyze("odb-h.q13", benchOpt()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		cold()
+		if _, err := Analyze("odb-h.q13", benchOpt()); err != nil {
+			b.Fatal(err) // prime
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := Analyze("odb-h.q13", benchOpt()); err != nil {
+				b.Fatal(err)
+			}
+		}
+		stats := experiment.AnalysisCacheStats()
+		report(b, "cache-hits", float64(stats.Hits))
+	})
 }

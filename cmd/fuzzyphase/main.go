@@ -17,6 +17,8 @@
 //	-intervals N   EIPV intervals to simulate (default 320)
 //	-machine NAME  itanium2 | pentium4 | xeon (default itanium2)
 //	-threads       build thread-separated EIPVs
+//	-parallel N    worker goroutines (0 = one per CPU; output identical at any N)
+//	-cachestats    print Analyze memoization stats to stderr on exit
 package main
 
 import (
@@ -24,6 +26,7 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"time"
 
 	fuzzyphase "repro"
 	"repro/internal/cpu"
@@ -60,7 +63,11 @@ commands:
   sweep-interval               EIPV interval-size sensitivity (paper 7.1)
   sweep-machine                machine-model sensitivity (paper 7.1)
 
-flags (after positional args): -seed -intervals -machine -threads`)
+flags (after positional args): -seed -intervals -machine -threads -parallel -cachestats
+
+  -parallel N runs the analysis engine on N worker goroutines (0, the
+  default, uses one per CPU). Output is bit-for-bit identical at any N;
+  only the wall-clock changes.`)
 	os.Exit(2)
 }
 
@@ -82,6 +89,8 @@ func main() {
 	intervals := fs.Int("intervals", 0, "EIPV intervals to simulate (0 = default)")
 	machine := fs.String("machine", "itanium2", "machine model: itanium2|pentium4|xeon")
 	threads := fs.Bool("threads", false, "thread-separated EIPVs")
+	parallel := fs.Int("parallel", 0, "worker goroutines (0 = one per CPU)")
+	cachestats := fs.Bool("cachestats", false, "print Analyze cache stats to stderr on exit")
 	csv := fs.Bool("csv", false, "emit raw CSV instead of a text summary (figures 2,3,8,9,10,11)")
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
@@ -96,6 +105,12 @@ func main() {
 		Intervals:       *intervals,
 		Machine:         mcfg,
 		ThreadSeparated: *threads,
+		Parallelism:     *parallel,
+	}
+	if *cachestats {
+		defer func() {
+			fmt.Fprintln(os.Stderr, "#", fuzzyphase.AnalysisCacheStats())
+		}()
 	}
 
 	switch cmd {
@@ -128,6 +143,12 @@ func main() {
 
 	case "table":
 		id := atoi(pos)
+		if id == 2 {
+			if err := runTable2(opt); err != nil {
+				fatal(err)
+			}
+			break
+		}
 		err := fuzzyphase.Table(id, opt, os.Stdout, func(name string) {
 			fmt.Fprintf(os.Stderr, "analyzed %s\n", name)
 		})
@@ -244,6 +265,41 @@ func main() {
 	default:
 		usage()
 	}
+}
+
+// runTable2 regenerates the full 50-workload classification with
+// per-workload progress on stderr and a wall-clock/speedup summary. The
+// progress callback fires in table order even though the analyses run in
+// parallel.
+func runTable2(opt fuzzyphase.Options) error {
+	total := len(experiment.Table2Workloads())
+	workers := experiment.Workers(opt.Parallelism)
+	fmt.Fprintf(os.Stderr, "# table 2: %d workloads on %d workers\n", total, workers)
+	start := time.Now()
+	count := 0
+	var analysis time.Duration
+	rows, err := experiment.Table2(opt, func(name string, row experiment.Table2Row) {
+		count++
+		analysis += row.Elapsed
+		fmt.Fprintf(os.Stderr, "[%3d/%d %8s] %-14s var=%.4f RE=%.3f -> %s\n",
+			count, total, time.Since(start).Round(time.Millisecond),
+			name, row.CPIVar, row.REOpt, row.Quadrant)
+	})
+	if err != nil {
+		return err
+	}
+	experiment.RenderTable2(os.Stdout, rows)
+	wall := time.Since(start)
+	// Cumulative per-workload time over wall-clock: on an idle multicore
+	// machine this is the realized speedup over a serial run; when workers
+	// outnumber cores it reads as average concurrency instead.
+	concurrency := 1.0
+	if wall > 0 {
+		concurrency = float64(analysis) / float64(wall)
+	}
+	fmt.Fprintf(os.Stderr, "# %d workloads in %s wall (%s cumulative, %.1fx concurrency on %d workers)\n",
+		total, wall.Round(time.Millisecond), analysis.Round(time.Millisecond), concurrency, workers)
+	return nil
 }
 
 // figureCSV writes a figure's raw data (curves or spread points) as CSV,

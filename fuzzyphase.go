@@ -22,7 +22,11 @@
 //
 // Every table and figure of the paper can be regenerated through the
 // Figure and Table functions or the cmd/fuzzyphase CLI. All analyses are
-// deterministic for a fixed Options.Seed.
+// deterministic for a fixed Options.Seed — including under parallel
+// execution (Options.Parallelism), which changes wall-clock time but never
+// output. Repeated analyses of the same configuration are served from a
+// process-wide memoization cache (AnalysisCacheStats,
+// InvalidateAnalysisCache).
 package fuzzyphase
 
 import (
@@ -67,9 +71,25 @@ func Workloads() []string { return workload.Names() }
 
 // Analyze runs the full paper pipeline on the named workload: simulate,
 // profile, build EIPVs, cross-validate a regression tree, classify.
+//
+// Results are memoized process-wide by (name, options) and shared between
+// callers — treat them as immutable. Options.Parallelism bounds the worker
+// goroutines of the analysis engine (0 = one per CPU); outputs are
+// bit-for-bit identical at every parallelism level.
 func Analyze(name string, opt Options) (*Result, error) {
 	return experiment.Analyze(name, opt)
 }
+
+// CacheStats is a snapshot of the Analyze memoization counters.
+type CacheStats = experiment.CacheStats
+
+// AnalysisCacheStats reports hits/misses/deduplicated flights of the
+// process-wide Analyze cache.
+func AnalysisCacheStats() CacheStats { return experiment.AnalysisCacheStats() }
+
+// InvalidateAnalysisCache drops every memoized Analyze result; subsequent
+// calls re-simulate.
+func InvalidateAnalysisCache() { experiment.InvalidateAnalysisCache() }
 
 // Summary renders a Result as a short human-readable report.
 func Summary(res *Result) string { return experiment.Summary(res) }

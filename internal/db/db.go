@@ -104,6 +104,7 @@ type Database struct {
 
 	nextPage bufpool.PageID
 	logBlock uint64
+	execSeq  int
 }
 
 // NewDatabase creates an empty engine on the given address space.

@@ -45,16 +45,17 @@ type Exec struct {
 	ev cpu.BlockEvent // scratch
 }
 
-var execSeq int
-
-// NewExec creates a worker context on d, drawing randomness from rng.
+// NewExec creates a worker context on d, drawing randomness from rng. The
+// workarea sequence number lives on the Database (not in a package global)
+// so concurrent simulations of independent databases neither race nor
+// perturb each other's region labels.
 func NewExec(d *Database, rng *xrand.Rand) *Exec {
-	execSeq++
+	d.execSeq++
 	return &Exec{
 		DB:       d,
 		RNG:      rng,
-		hashArea: d.Space.AllocData(fmt.Sprintf("workarea.hash.%d", execSeq), 4<<20),
-		sortArea: d.Space.AllocData(fmt.Sprintf("workarea.sort.%d", execSeq), 2<<20),
+		hashArea: d.Space.AllocData(fmt.Sprintf("workarea.hash.%d", d.execSeq), 4<<20),
+		sortArea: d.Space.AllocData(fmt.Sprintf("workarea.sort.%d", d.execSeq), 2<<20),
 	}
 }
 

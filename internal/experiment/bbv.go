@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -27,11 +28,17 @@ type BBVComparison struct {
 	BBVFeatures  int
 }
 
-// CompareBBV runs the deferred §3.3 comparison for each named workload.
+// CompareBBV runs the deferred §3.3 comparison for each named workload,
+// fanned across Options.Parallelism workers. It bypasses the Analyze cache:
+// the collection differs from the main pipeline's (BBV accounting on).
 func CompareBBV(names []string, opt Options) ([]BBVComparison, error) {
 	opt = opt.withDefaults()
-	var out []BBVComparison
-	for _, name := range names {
+	workers := Workers(opt.Parallelism)
+	treeOpt := rtree.Options{MaxLeaves: opt.MaxLeaves, MinLeaf: 2,
+		Parallelism: innerParallelism(workers, len(names))}
+	out := make([]BBVComparison, len(names))
+	err := forEach(workers, len(names), func(_ context.Context, i int) error {
+		name := names[i]
 		col, err := profiler.CollectByName(name, profiler.CollectOptions{
 			Machine:          opt.Machine,
 			Seed:             opt.Seed,
@@ -41,16 +48,15 @@ func CompareBBV(names []string, opt Options) ([]BBVComparison, error) {
 			BBVIntervalInsts: opt.IntervalInsts,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 
 		// Sampled EIPVs, as in the main pipeline.
 		set := buildEIPVs(col, opt)
 		eipvData := Dataset(set)
-		treeOpt := rtree.Options{MaxLeaves: opt.MaxLeaves, MinLeaf: 2}
 		eipvCV, err := rtree.CrossValidate(eipvData, treeOpt, opt.Folds, opt.Seed)
 		if err != nil {
-			return nil, fmt.Errorf("bbv: %s eipv: %w", name, err)
+			return fmt.Errorf("bbv: %s eipv: %w", name, err)
 		}
 
 		// Full BBVs over the same steady-state window.
@@ -63,16 +69,20 @@ func CompareBBV(names []string, opt Options) ([]BBVComparison, error) {
 		}
 		bbvCV, err := rtree.CrossValidate(bbvData, treeOpt, opt.Folds, opt.Seed)
 		if err != nil {
-			return nil, fmt.Errorf("bbv: %s bbv: %w", name, err)
+			return fmt.Errorf("bbv: %s bbv: %w", name, err)
 		}
 
-		out = append(out, BBVComparison{
+		out[i] = BBVComparison{
 			Name:         name,
 			EIPV:         eipvCV,
 			BBV:          bbvCV,
 			EIPVFeatures: set.UniqueEIPs(),
 			BBVFeatures:  countFeatures(bbvData),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -1,0 +1,153 @@
+// Memoization of Analyze results. The figure and table pipelines overlap
+// heavily — odb-c and sjas alone appear in Figures 2-7 and Table 2 — so a
+// process-wide cache keyed by (workload, canonicalized Options) lets every
+// configuration simulate exactly once. Concurrent callers of the same key
+// are deduplicated singleflight-style: one computes, the rest wait for its
+// result.
+//
+// Cached Results are shared between callers and must be treated as
+// immutable; every consumer in this repository only reads them.
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/cpu"
+)
+
+// cacheKey canonicalizes an options struct (already carrying defaults) into
+// a stable string key. Parallelism is deliberately excluded: results are
+// bit-for-bit identical at any worker count, so parallel and serial callers
+// share entries. The machine config is serialized field-by-field (with the
+// optional L3 dereferenced) so hand-built cpu.Configs key correctly, not
+// just the named presets.
+func cacheKey(name string, opt Options) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s|iv=%d|wu=%d|seed=%d|ii=%d|po=%d|ts=%t|ml=%d|folds=%d",
+		name, opt.Intervals, opt.Warmup, opt.Seed, opt.IntervalInsts,
+		opt.PeriodOverride, opt.ThreadSeparated, opt.MaxLeaves, opt.Folds)
+	writeMachine(&b, opt.Machine)
+	return b.String()
+}
+
+func writeMachine(b *strings.Builder, m cpu.Config) {
+	fmt.Fprintf(b, "|m=%s{%+v;%+v;%+v;l3=", m.Name, m.L1I, m.L1D, m.L2)
+	if m.L3 != nil {
+		fmt.Fprintf(b, "%+v", *m.L3)
+	} else {
+		b.WriteString("nil")
+	}
+	fmt.Fprintf(b, ";lat=%+v;mp=%d;pb=%d;iff=%g}",
+		m.Lat, m.MispredictPenalty, m.PredictorBits, m.IFetchFactor)
+}
+
+// CacheStats is a snapshot of the Analyze cache counters.
+type CacheStats struct {
+	// Hits counts Analyze calls answered from a completed entry.
+	Hits uint64
+	// Misses counts calls that had to run the pipeline.
+	Misses uint64
+	// Shared counts calls that joined an in-flight computation of the
+	// same key instead of duplicating it (singleflight deduplication).
+	Shared uint64
+	// Entries is the number of completed results currently retained.
+	Entries int
+	// Invalidations counts InvalidateAnalysisCache calls.
+	Invalidations uint64
+}
+
+// analyzeCall is one cache slot: done is closed when the computation
+// finishes, after which res/err are immutable.
+type analyzeCall struct {
+	done chan struct{}
+	res  *Result
+	err  error
+}
+
+type analyzeCache struct {
+	mu      sync.Mutex
+	entries map[string]*analyzeCall
+
+	hits, misses, shared, invalidations uint64
+}
+
+var analysisCache = &analyzeCache{entries: map[string]*analyzeCall{}}
+
+// get returns the memoized result for key, computing it with fn on a miss.
+// Errors are returned to every waiter of the failing flight but never
+// cached: the next call retries.
+func (c *analyzeCache) get(key string, fn func() (*Result, error)) (*Result, error) {
+	c.mu.Lock()
+	if call, ok := c.entries[key]; ok {
+		select {
+		case <-call.done:
+			c.hits++
+		default:
+			c.shared++
+		}
+		c.mu.Unlock()
+		<-call.done
+		return call.res, call.err
+	}
+	call := &analyzeCall{done: make(chan struct{})}
+	c.entries[key] = call
+	c.misses++
+	c.mu.Unlock()
+
+	call.res, call.err = fn()
+	if call.err != nil {
+		c.mu.Lock()
+		// Drop the failed entry so future calls retry — unless an
+		// invalidation already replaced the map (or the slot) under us.
+		if c.entries[key] == call {
+			delete(c.entries, key)
+		}
+		c.mu.Unlock()
+	}
+	close(call.done)
+	return call.res, call.err
+}
+
+func (c *analyzeCache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := CacheStats{
+		Hits:          c.hits,
+		Misses:        c.misses,
+		Shared:        c.shared,
+		Invalidations: c.invalidations,
+	}
+	for _, call := range c.entries {
+		select {
+		case <-call.done:
+			s.Entries++
+		default:
+		}
+	}
+	return s
+}
+
+func (c *analyzeCache) invalidate() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = map[string]*analyzeCall{}
+	c.invalidations++
+}
+
+// AnalysisCacheStats returns a snapshot of the process-wide Analyze cache
+// counters.
+func AnalysisCacheStats() CacheStats { return analysisCache.stats() }
+
+// InvalidateAnalysisCache drops every memoized Analyze result (and resets
+// nothing else: the hit/miss counters keep accumulating). In-flight
+// computations finish and hand their result to their current waiters, but
+// are not re-admitted to the cache.
+func InvalidateAnalysisCache() { analysisCache.invalidate() }
+
+// String renders the stats as a one-line summary.
+func (s CacheStats) String() string {
+	return fmt.Sprintf("analyze cache: %d hits, %d misses, %d shared flights, %d live entries",
+		s.Hits, s.Misses, s.Shared, s.Entries)
+}

@@ -1,8 +1,10 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/cpu"
 	"repro/internal/db"
@@ -28,16 +30,39 @@ func curveOf(res *Result, name string) Curve {
 	return Curve{Name: name, RE: res.CV.RE, KOpt: res.CV.KOpt, REOpt: res.CV.REOpt}
 }
 
+// analyzeMany fans Analyze out across names on the options' worker budget
+// and returns the results in input order. The per-call rtree parallelism is
+// scaled down so the fan-out as a whole stays within the budget.
+func analyzeMany(names []string, opt Options) ([]*Result, error) {
+	workers := Workers(opt.Parallelism)
+	inner := opt
+	inner.Parallelism = innerParallelism(workers, len(names))
+	out := make([]*Result, len(names))
+	err := forEach(workers, len(names), func(_ context.Context, i int) error {
+		res, err := Analyze(names[i], inner)
+		if err != nil {
+			return err
+		}
+		out[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // Figure2 reproduces "Relative Error Trend for ODB-C & SjAS": ODB-C's
 // curve rises above one with k while SjAS stays flat just under one.
 func Figure2(opt Options) ([]Curve, error) {
-	var out []Curve
-	for _, name := range []string{"odb-c", "sjas"} {
-		res, err := Analyze(name, opt)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, curveOf(res, name))
+	names := []string{"odb-c", "sjas"}
+	results, err := analyzeMany(names, opt)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Curve, len(results))
+	for i, res := range results {
+		out[i] = curveOf(res, names[i])
 	}
 	return out, nil
 }
@@ -69,13 +94,13 @@ func spreadOf(res *Result) SpreadData {
 // Figure3 reproduces the EIP & CPI spread of ODB-C and SjAS: tens of
 // thousands of uniformly exercised EIPs over a small-variance CPI band.
 func Figure3(opt Options) ([]SpreadData, error) {
-	var out []SpreadData
-	for _, name := range []string{"odb-c", "sjas"} {
-		res, err := Analyze(name, opt)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, spreadOf(res))
+	results, err := analyzeMany([]string{"odb-c", "sjas"}, opt)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SpreadData, len(results))
+	for i, res := range results {
+		out[i] = spreadOf(res)
 	}
 	return out, nil
 }
@@ -256,6 +281,9 @@ type Table2Row struct {
 	// Target is the paper's placement (empty when the paper's table is
 	// ambiguous for this entry).
 	Target string
+	// Elapsed is how long this workload's Analyze call took (near zero on
+	// a cache hit). It is diagnostic only and never rendered in the table.
+	Elapsed time.Duration
 }
 
 // Table2Workloads lists the full suite in presentation order.
@@ -286,23 +314,40 @@ func Table2Workloads() []Table2Row {
 	return rows
 }
 
-// Table2 classifies every workload in the suite. progress, if non-nil, is
-// called after each workload (CLI feedback; analysis of the full suite
-// takes minutes).
+// Table2 classifies every workload in the suite, fanning the per-workload
+// analyses across Options.Parallelism workers. progress, if non-nil, is
+// called after each workload (CLI feedback; a cold full-suite analysis
+// takes minutes). Even under parallel execution, progress fires in table
+// order, one call at a time — completion of row i is reported only after
+// rows 0..i-1 have been reported.
 func Table2(opt Options, progress func(name string, row Table2Row)) ([]Table2Row, error) {
 	rows := Table2Workloads()
-	for i := range rows {
-		res, err := Analyze(rows[i].Name, opt)
+	workers := Workers(opt.Parallelism)
+	inner := opt
+	inner.Parallelism = innerParallelism(workers, len(rows))
+
+	var gate *progressGate
+	if progress != nil {
+		gate = newProgressGate(len(rows), func(i int) {
+			progress(rows[i].Name, rows[i])
+		})
+	}
+	err := forEach(workers, len(rows), func(_ context.Context, i int) error {
+		start := time.Now()
+		res, err := Analyze(rows[i].Name, inner)
 		if err != nil {
-			return nil, fmt.Errorf("table2: %s: %w", rows[i].Name, err)
+			return fmt.Errorf("table2: %s: %w", rows[i].Name, err)
 		}
 		rows[i].CPIVar = res.CPIVariance
 		rows[i].REOpt = res.CV.REOpt
 		rows[i].KOpt = res.CV.KOpt
 		rows[i].Quadrant = res.Quadrant
-		if progress != nil {
-			progress(rows[i].Name, rows[i])
-		}
+		rows[i].Elapsed = time.Since(start)
+		gate.done(i)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -343,24 +388,32 @@ type TreeVsKMeans struct {
 // given workloads (the paper reports an average ~80% improvement in CPI
 // predictability across its suite).
 func Section46(names []string, opt Options) ([]TreeVsKMeans, error) {
-	var out []TreeVsKMeans
-	for _, name := range names {
-		res, err := Analyze(name, opt)
+	workers := Workers(opt.Parallelism)
+	inner := opt
+	inner.Parallelism = innerParallelism(workers, len(names))
+	out := make([]TreeVsKMeans, len(names))
+	err := forEach(workers, len(names), func(_ context.Context, i int) error {
+		name := names[i]
+		res, err := Analyze(name, inner)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		maxK := opt.withDefaults().MaxLeaves
-		km, kk, err := kmeans.BestRE(Vectors(res.Set), res.Set.CPIs(), maxK, opt.Seed)
+		maxK := inner.withDefaults().MaxLeaves
+		km, kk, err := kmeans.BestRE(Vectors(res.Set), res.Set.CPIs(), maxK, inner.Seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		tree := rtree.Build(Dataset(res.Set), rtree.Options{MaxLeaves: maxK, MinLeaf: 2})
+		tree := rtree.Build(Dataset(res.Set), rtree.Options{MaxLeaves: maxK, MinLeaf: 2, Parallelism: inner.Parallelism})
 		treeRE := tree.InSampleRE(tree.Leaves())
 		row := TreeVsKMeans{Name: name, TreeRE: treeRE, TreeCV: res.CV.REOpt, KMeans: km, KMeansK: kk}
 		if km > 0 {
 			row.Improvement = (km - treeRE) / km
 		}
-		out = append(out, row)
+		out[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -381,27 +434,35 @@ type SamplingRow struct {
 // Section7Sampling evaluates every sampling technique on every named
 // workload with the given interval budget.
 func Section7Sampling(names []string, budget int, opt Options) ([]SamplingRow, error) {
-	var out []SamplingRow
-	for _, name := range names {
-		res, err := Analyze(name, opt)
+	workers := Workers(opt.Parallelism)
+	inner := opt
+	inner.Parallelism = innerParallelism(workers, len(names))
+	out := make([]SamplingRow, len(names))
+	err := forEach(workers, len(names), func(_ context.Context, i int) error {
+		name := names[i]
+		res, err := Analyze(name, inner)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		evals, err := sampling.Evaluate(res.Set.CPIs(), Vectors(res.Set), budget, opt.Seed)
+		evals, err := sampling.Evaluate(res.Set.CPIs(), Vectors(res.Set), budget, inner.Seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		needed, err := sampling.RequiredSamples(res.Set.CPIs(), 0.02)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, SamplingRow{
+		out[i] = SamplingRow{
 			Name:            name,
 			Quadrant:        res.Quadrant,
 			Evals:           evals,
 			Recommend:       quadrant.Recommend(res.Quadrant),
 			RequiredFor2Pct: needed,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -427,24 +488,32 @@ func Section71Intervals(names []string, opt Options) ([]SweepRow, error) {
 		{"50M", workload.IntervalInsts / 2},
 		{"10M", workload.IntervalInsts / 10},
 	}
-	var out []SweepRow
-	for _, name := range names {
-		for _, sz := range sizes {
-			o := opt
-			o.IntervalInsts = sz.insts
-			// Keep the same simulated length; more, shorter vectors.
-			res, err := Analyze(name, o)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, SweepRow{
-				Label:   sz.label,
-				Name:    name,
-				CPIVar:  res.CPIVariance,
-				REOpt:   res.CV.REOpt,
-				MeanCPI: res.MeanCPI,
-			})
+	n := len(names) * len(sizes)
+	workers := Workers(opt.Parallelism)
+	inner := opt
+	inner.Parallelism = innerParallelism(workers, n)
+	out := make([]SweepRow, n)
+	err := forEach(workers, n, func(_ context.Context, i int) error {
+		name := names[i/len(sizes)]
+		sz := sizes[i%len(sizes)]
+		o := inner
+		o.IntervalInsts = sz.insts
+		// Keep the same simulated length; more, shorter vectors.
+		res, err := Analyze(name, o)
+		if err != nil {
+			return err
 		}
+		out[i] = SweepRow{
+			Label:   sz.label,
+			Name:    name,
+			CPIVar:  res.CPIVariance,
+			REOpt:   res.CV.REOpt,
+			MeanCPI: res.MeanCPI,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -454,23 +523,31 @@ func Section71Intervals(names []string, opt Options) ([]SweepRow, error) {
 // but broadly unchanged quadrant structure.
 func Section71Machines(names []string, opt Options) ([]SweepRow, error) {
 	machines := []cpu.Config{cpu.Itanium2(), cpu.PentiumIV(), cpu.Xeon()}
-	var out []SweepRow
-	for _, name := range names {
-		for _, m := range machines {
-			o := opt
-			o.Machine = m
-			res, err := Analyze(name, o)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, SweepRow{
-				Label:   m.Name,
-				Name:    name,
-				CPIVar:  res.CPIVariance,
-				REOpt:   res.CV.REOpt,
-				MeanCPI: res.MeanCPI,
-			})
+	n := len(names) * len(machines)
+	workers := Workers(opt.Parallelism)
+	inner := opt
+	inner.Parallelism = innerParallelism(workers, n)
+	out := make([]SweepRow, n)
+	err := forEach(workers, n, func(_ context.Context, i int) error {
+		name := names[i/len(machines)]
+		m := machines[i%len(machines)]
+		o := inner
+		o.Machine = m
+		res, err := Analyze(name, o)
+		if err != nil {
+			return err
 		}
+		out[i] = SweepRow{
+			Label:   m.Name,
+			Name:    name,
+			CPIVar:  res.CPIVariance,
+			REOpt:   res.CV.REOpt,
+			MeanCPI: res.MeanCPI,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -1,0 +1,223 @@
+package experiment
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// renderPipelines regenerates Table 2, Figure 2, and the §7.1 interval
+// sweep at the given parallelism and returns the concatenated rendered
+// text, plus the progress-callback order observed from Table2.
+func renderPipelines(t *testing.T, parallelism int) (string, []string) {
+	t.Helper()
+	opt := Options{Seed: 1, Intervals: 40, Warmup: 4, Parallelism: parallelism}
+	var buf bytes.Buffer
+	var progressed []string
+
+	rows, err := Table2(opt, func(name string, _ Table2Row) {
+		progressed = append(progressed, name)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	RenderTable2(&buf, rows)
+
+	curves, err := Figure2(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	RenderCurves(&buf, "Figure 2", curves)
+
+	sweep, err := Section71Intervals([]string{"spec.mcf"}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	RenderSweep(&buf, "interval sweep", sweep)
+
+	return buf.String(), progressed
+}
+
+// TestParallelDeterminism is the regression test for the engine's central
+// guarantee: rendered output is byte-identical at any parallelism level.
+// The cache is invalidated between runs so the second run really
+// recomputes under parallel execution instead of replaying memoized
+// results.
+func TestParallelDeterminism(t *testing.T) {
+	InvalidateAnalysisCache()
+	serial, serialOrder := renderPipelines(t, 1)
+	InvalidateAnalysisCache()
+	parallel, parallelOrder := renderPipelines(t, 8)
+
+	if serial != parallel {
+		t.Fatalf("rendered output differs between Parallelism=1 and Parallelism=8:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+	}
+
+	// Progress callbacks must fire in table order at both settings.
+	want := Table2Workloads()
+	if len(serialOrder) != len(want) || len(parallelOrder) != len(want) {
+		t.Fatalf("progress counts: serial %d, parallel %d, want %d",
+			len(serialOrder), len(parallelOrder), len(want))
+	}
+	for i, r := range want {
+		if serialOrder[i] != r.Name {
+			t.Fatalf("serial progress[%d] = %s, want %s", i, serialOrder[i], r.Name)
+		}
+		if parallelOrder[i] != r.Name {
+			t.Fatalf("parallel progress[%d] = %s, want %s", i, parallelOrder[i], r.Name)
+		}
+	}
+}
+
+// TestAnalyzeMemoization asserts that repeated Analyze calls with an
+// equivalent configuration are served from the cache, and that Parallelism
+// does not fragment cache keys.
+func TestAnalyzeMemoization(t *testing.T) {
+	InvalidateAnalysisCache()
+	before := AnalysisCacheStats()
+
+	opt := fast()
+	a, err := Analyze("spec.gzip", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Parallelism = 4 // different worker count, same analysis
+	b, err := Analyze("spec.gzip", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("second Analyze did not return the memoized result")
+	}
+
+	after := AnalysisCacheStats()
+	if got := after.Misses - before.Misses; got != 1 {
+		t.Fatalf("misses = %d, want 1", got)
+	}
+	if got := after.Hits - before.Hits; got != 1 {
+		t.Fatalf("hits = %d, want 1", got)
+	}
+
+	// A changed option must miss.
+	opt.Seed = 2
+	c, err := Analyze("spec.gzip", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a {
+		t.Fatal("different seed returned the same cached result")
+	}
+	if got := AnalysisCacheStats().Misses - before.Misses; got != 2 {
+		t.Fatalf("misses after seed change = %d, want 2", got)
+	}
+
+	// Invalidation forces recomputation.
+	InvalidateAnalysisCache()
+	opt.Seed = 1
+	if _, err := Analyze("spec.gzip", opt); err != nil {
+		t.Fatal(err)
+	}
+	if got := AnalysisCacheStats().Misses - before.Misses; got != 3 {
+		t.Fatalf("misses after invalidation = %d, want 3", got)
+	}
+}
+
+// TestAnalyzeSingleflight checks that concurrent Analyze calls for one key
+// run the pipeline exactly once.
+func TestAnalyzeSingleflight(t *testing.T) {
+	InvalidateAnalysisCache()
+	before := AnalysisCacheStats()
+
+	const callers = 8
+	results := make([]*Result, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := Analyze("spec.gzip", fast())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = res
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 1; i < callers; i++ {
+		if results[i] != results[0] {
+			t.Fatal("concurrent callers observed different results")
+		}
+	}
+	after := AnalysisCacheStats()
+	if got := after.Misses - before.Misses; got != 1 {
+		t.Fatalf("misses = %d, want 1 (singleflight)", got)
+	}
+	if got := (after.Hits - before.Hits) + (after.Shared - before.Shared); got != callers-1 {
+		t.Fatalf("hits+shared = %d, want %d", got, callers-1)
+	}
+}
+
+// TestForEachFirstError verifies the pool mirrors a serial loop's error
+// semantics: the lowest-index failure is returned, later work is cancelled.
+func TestForEachFirstError(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var mu sync.Mutex
+		ran := map[int]bool{}
+		err := forEach(workers, 100, func(_ context.Context, i int) error {
+			mu.Lock()
+			ran[i] = true
+			mu.Unlock()
+			if i == 7 || i == 9 {
+				return fmt.Errorf("boom %d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "boom 7" {
+			t.Fatalf("workers=%d: err = %v, want boom 7", workers, err)
+		}
+		mu.Lock()
+		for i := 0; i <= 7; i++ {
+			if !ran[i] {
+				t.Fatalf("workers=%d: index %d below the failure never ran", workers, i)
+			}
+		}
+		mu.Unlock()
+	}
+	if err := forEach(4, 0, func(_ context.Context, i int) error { return errors.New("no") }); err != nil {
+		t.Fatalf("empty forEach returned %v", err)
+	}
+}
+
+// TestTable2ErrorPropagation: a failing workload surfaces its own error
+// even under parallel execution (Intervals too small for 10 folds).
+func TestTable2ErrorPropagation(t *testing.T) {
+	InvalidateAnalysisCache()
+	_, err := Table2(Options{Seed: 1, Intervals: 12, Warmup: 2, Parallelism: 8}, nil)
+	if err == nil {
+		t.Fatal("Table2 with too few intervals did not error")
+	}
+	InvalidateAnalysisCache()
+}
+
+// TestProgressGateOrder exercises the gate directly with adversarial
+// completion order.
+func TestProgressGateOrder(t *testing.T) {
+	var got []int
+	g := newProgressGate(5, func(i int) { got = append(got, i) })
+	for _, i := range []int{3, 1, 0, 4, 2} {
+		g.done(i)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("progress order %v, want ascending", got)
+		}
+	}
+	if len(got) != 5 {
+		t.Fatalf("%d callbacks, want 5", len(got))
+	}
+}

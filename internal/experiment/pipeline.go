@@ -44,6 +44,13 @@ type Options struct {
 	MaxLeaves int
 	// Folds for cross-validation (zero: the paper's 10).
 	Folds int
+	// Parallelism bounds the worker goroutines the analysis engine may
+	// use: the per-workload fan-out of the table/figure pipelines, the
+	// cross-validation folds, and the regression tree's best-split
+	// search. Zero means runtime.NumCPU(); 1 forces the serial path.
+	// Results are bit-for-bit identical at every setting — parallelism
+	// only changes wall-clock time, never output.
+	Parallelism int
 }
 
 // Defaults for Options.
@@ -156,9 +163,21 @@ func buildEIPVs(col *profiler.CollectResult, opt Options) *eipv.Set {
 	return set.SkipWarmup(opt.Warmup)
 }
 
-// Analyze runs the full pipeline for a registered workload name.
+// Analyze runs the full pipeline for a registered workload name. Results
+// are memoized process-wide by (name, options): repeated calls with an
+// equivalent configuration return the same *Result without re-simulating,
+// and concurrent calls for the same key share one computation. Callers must
+// treat the returned Result as immutable. See AnalysisCacheStats and
+// InvalidateAnalysisCache.
 func Analyze(name string, opt Options) (*Result, error) {
 	opt = opt.withDefaults()
+	return analysisCache.get(cacheKey(name, opt), func() (*Result, error) {
+		return analyzeUncached(name, opt)
+	})
+}
+
+// analyzeUncached is the real pipeline; opt already carries defaults.
+func analyzeUncached(name string, opt Options) (*Result, error) {
 	col, err := profiler.CollectByName(name, profiler.CollectOptions{
 		Machine:        opt.Machine,
 		Seed:           opt.Seed,
@@ -174,7 +193,8 @@ func Analyze(name string, opt Options) (*Result, error) {
 		return nil, fmt.Errorf("experiment: %s produced only %d steady-state EIPVs", name, len(set.Vectors))
 	}
 
-	cv, err := rtree.CrossValidate(Dataset(set), rtree.Options{MaxLeaves: opt.MaxLeaves, MinLeaf: 2}, opt.Folds, opt.Seed)
+	treeOpt := rtree.Options{MaxLeaves: opt.MaxLeaves, MinLeaf: 2, Parallelism: Workers(opt.Parallelism)}
+	cv, err := rtree.CrossValidate(Dataset(set), treeOpt, opt.Folds, opt.Seed)
 	if err != nil {
 		return nil, fmt.Errorf("experiment: %s: %w", name, err)
 	}

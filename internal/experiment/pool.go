@@ -1,0 +1,122 @@
+package experiment
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves an Options.Parallelism value: zero or negative means one
+// worker per CPU, anything else is used as-is.
+func Workers(parallelism int) int {
+	if parallelism <= 0 {
+		return runtime.NumCPU()
+	}
+	return parallelism
+}
+
+// innerParallelism divides a worker budget among n concurrently running
+// tasks, so a fan-out of n Analyze calls hands each call its fair share of
+// cores for the rtree inner loops (a single call keeps the whole budget).
+func innerParallelism(workers, n int) int {
+	if n < 1 {
+		n = 1
+	}
+	if n > workers {
+		return 1
+	}
+	return workers / n
+}
+
+// forEach runs fn(i) for every i in [0, n) on at most `workers` concurrent
+// goroutines. Indices are claimed in ascending order; the first error
+// cancels the pool's context so unclaimed work is skipped, and the error
+// returned is the one with the lowest index — exactly the error a serial
+// loop over the same work would have returned, because every index below a
+// failing one has already been claimed and runs to completion.
+//
+// Result ordering is the caller's: fn writes into its own slot of a
+// pre-sized slice, so output order never depends on completion order.
+func forEach(workers, n int, fn func(ctx context.Context, i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		ctx := context.Background()
+		for i := 0; i < n; i++ {
+			if err := fn(ctx, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				select {
+				case <-ctx.Done():
+					return
+				default:
+				}
+				if err := fn(ctx, i); err != nil {
+					errs[i] = err
+					cancel()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// progressGate serializes completion callbacks so they fire in index order
+// even when the underlying work completes out of order: worker i reports
+// done(i), and emit runs for every prefix index whose work has finished.
+type progressGate struct {
+	mu    sync.Mutex
+	ready []bool
+	next  int
+	emit  func(i int)
+}
+
+func newProgressGate(n int, emit func(i int)) *progressGate {
+	return &progressGate{ready: make([]bool, n), emit: emit}
+}
+
+// done marks index i complete and flushes the contiguous ready prefix. emit
+// runs under the gate's lock, so callbacks never interleave.
+func (g *progressGate) done(i int) {
+	if g == nil || g.emit == nil {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.ready[i] = true
+	for g.next < len(g.ready) && g.ready[g.next] {
+		g.emit(g.next)
+		g.next++
+	}
+}

@@ -20,6 +20,8 @@ import (
 	"math"
 	"slices"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/stats"
 	"repro/internal/xrand"
@@ -51,6 +53,12 @@ type Options struct {
 	MaxLeaves int
 	// MinLeaf is the minimum number of points per chamber.
 	MinLeaf int
+	// Parallelism bounds the worker goroutines used by CrossValidate's
+	// fold evaluation and Build's best-split search; <= 1 means serial.
+	// Every split decision and RE value is bit-for-bit identical at any
+	// setting: per-feature split scoring is independent work, and fold
+	// errors are reduced in fold order regardless of completion order.
+	Parallelism int
 }
 
 // DefaultOptions mirrors the paper's settings.
@@ -164,10 +172,28 @@ func Build(data Dataset, opt Options) *Tree {
 	return t
 }
 
+// cy is one nonzero observation of a feature: its sample count and the
+// member's response.
+type cy struct {
+	c int
+	y float64
+}
+
+// parallelFeatureMin is the feature count below which findBest stays
+// serial: per-feature work is too small to amortize goroutine fan-out.
+const parallelFeatureMin = 128
+
 // findBest computes the node's best (EIP, n) split. Features are sparse:
 // for each EIP appearing in the node we gather its nonzero (count, y)
 // pairs; all remaining members implicitly have count 0. Candidate
 // thresholds are the observed counts (including 0) except the maximum.
+//
+// With opt.Parallelism > 1 and enough features, the per-feature scoring
+// fans out across workers. Each feature's score is computed independently
+// of every other feature (no floating-point accumulation crosses feature
+// boundaries), and the reduction scans features in ascending-EIP order with
+// a strict > comparison, so the chosen split — including tie-breaks toward
+// the lowest EIP and lowest threshold — is identical to the serial scan.
 func (t *Tree) findBest(n *node) {
 	n.bestGain = 0
 	m := len(n.members)
@@ -180,10 +206,6 @@ func (t *Tree) findBest(n *node) {
 	}
 
 	// feature -> list of (count, y) for members where count > 0.
-	type cy struct {
-		c int
-		y float64
-	}
 	feat := map[uint64][]cy{}
 	for _, idx := range n.members {
 		p := &t.data[idx]
@@ -200,59 +222,88 @@ func (t *Tree) findBest(n *node) {
 	}
 	slices.Sort(order)
 
-	for _, e := range order {
-		list := feat[e]
-		nz := m - len(list) // members with implicit zero count
-		// Sort nonzero observations by count.
-		sort.Slice(list, func(i, j int) bool { return list[i].c < list[j].c })
-
-		// Zero-side aggregates.
-		var nzSum, nzSumsq float64
-		for _, v := range list {
-			nzSum += v.y
-			nzSumsq += v.y * v.y
+	if t.opt.Parallelism > 1 && len(order) >= parallelFeatureMin {
+		gains := make([]float64, len(order))
+		thrs := make([]int, len(order))
+		parallelFor(t.opt.Parallelism, len(order), func(i int) {
+			gains[i], thrs[i] = t.scoreFeature(n, parentSS, feat[order[i]])
+		})
+		for i, e := range order {
+			if gains[i] > n.bestGain {
+				n.bestGain = gains[i]
+				n.bestEIP = e
+				n.bestN = thrs[i]
+			}
 		}
-		zeroSum := n.sum - nzSum
-		zeroSumsq := n.sumsq - nzSumsq
+		return
+	}
 
-		// Scan thresholds: after absorbing each distinct count value into
-		// the left side, evaluate the split.
-		leftN := nz
-		leftSum, leftSumsq := zeroSum, zeroSumsq
-		i := 0
-		for i <= len(list) {
-			// Threshold = count value of the left side's maximum; first
-			// iteration (i==0) corresponds to threshold 0 (zeros only).
-			if leftN >= t.opt.MinLeaf && m-leftN >= t.opt.MinLeaf && leftN > 0 && leftN < m {
-				rightN := m - leftN
-				rightSum := n.sum - leftSum
-				rightSumsq := n.sumsq - leftSumsq
-				ssL := leftSumsq - leftSum*leftSum/float64(leftN)
-				ssR := rightSumsq - rightSum*rightSum/float64(rightN)
-				gain := parentSS - ssL - ssR
-				if gain > n.bestGain {
-					thr := 0
-					if i > 0 {
-						thr = list[i-1].c
-					}
-					n.bestGain = gain
-					n.bestEIP = e
-					n.bestN = thr
-				}
-			}
-			if i == len(list) {
-				break
-			}
-			// Absorb the next run of equal counts into the left side.
-			c := list[i].c
-			for i < len(list) && list[i].c == c {
-				leftN++
-				leftSum += list[i].y
-				leftSumsq += list[i].y * list[i].y
-				i++
-			}
+	for _, e := range order {
+		gain, thr := t.scoreFeature(n, parentSS, feat[e])
+		if gain > n.bestGain {
+			n.bestGain = gain
+			n.bestEIP = e
+			n.bestN = thr
 		}
 	}
+}
+
+// scoreFeature scans one feature's candidate thresholds and returns the
+// best achievable gain for this node along with its threshold (the first
+// threshold in ascending order attaining that gain). A gain of 0 means no
+// admissible split.
+func (t *Tree) scoreFeature(n *node, parentSS float64, list []cy) (bestGain float64, bestThr int) {
+	m := len(n.members)
+	nz := m - len(list) // members with implicit zero count
+	// Sort nonzero observations by count.
+	sort.Slice(list, func(i, j int) bool { return list[i].c < list[j].c })
+
+	// Zero-side aggregates.
+	var nzSum, nzSumsq float64
+	for _, v := range list {
+		nzSum += v.y
+		nzSumsq += v.y * v.y
+	}
+	zeroSum := n.sum - nzSum
+	zeroSumsq := n.sumsq - nzSumsq
+
+	// Scan thresholds: after absorbing each distinct count value into
+	// the left side, evaluate the split.
+	leftN := nz
+	leftSum, leftSumsq := zeroSum, zeroSumsq
+	i := 0
+	for i <= len(list) {
+		// Threshold = count value of the left side's maximum; first
+		// iteration (i==0) corresponds to threshold 0 (zeros only).
+		if leftN >= t.opt.MinLeaf && m-leftN >= t.opt.MinLeaf && leftN > 0 && leftN < m {
+			rightN := m - leftN
+			rightSum := n.sum - leftSum
+			rightSumsq := n.sumsq - leftSumsq
+			ssL := leftSumsq - leftSum*leftSum/float64(leftN)
+			ssR := rightSumsq - rightSum*rightSum/float64(rightN)
+			gain := parentSS - ssL - ssR
+			if gain > bestGain {
+				thr := 0
+				if i > 0 {
+					thr = list[i-1].c
+				}
+				bestGain = gain
+				bestThr = thr
+			}
+		}
+		if i == len(list) {
+			break
+		}
+		// Absorb the next run of equal counts into the left side.
+		c := list[i].c
+		for i < len(list) && list[i].c == c {
+			leftN++
+			leftSum += list[i].y
+			leftSumsq += list[i].y * list[i].y
+			i++
+		}
+	}
+	return bestGain, bestThr
 }
 
 // applySplit turns a leaf with a computed best split into an internal node.
@@ -350,9 +401,43 @@ func (r CVResult) ExplainedVariance() float64 {
 	return v
 }
 
+// parallelFor runs fn(i) for every i in [0, n) on at most `workers`
+// goroutines, claiming indices in ascending order. fn writes only to its
+// own index's output, so no ordering is observable.
+func parallelFor(workers, n int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 // CrossValidate runs 10-fold cross-validation (folds fixed by seed) and
 // returns the RE_k curve. It returns an error for datasets too small to
-// fold.
+// fold. With opt.Parallelism > 1 the folds are evaluated concurrently;
+// each fold accumulates its squared errors independently and the per-fold
+// partials are reduced in fold order, so the curve is bit-for-bit the same
+// at any worker count.
 func CrossValidate(data Dataset, opt Options, folds int, seed uint64) (CVResult, error) {
 	if folds < 2 {
 		return CVResult{}, fmt.Errorf("rtree: need at least 2 folds, got %d", folds)
@@ -373,8 +458,19 @@ func CrossValidate(data Dataset, opt Options, folds int, seed uint64) (CVResult,
 	perm := make([]int, len(data))
 	rng.Perm(perm)
 
-	sqerr := make([]float64, opt.MaxLeaves) // summed over all held-out points
-	for f := 0; f < folds; f++ {
+	// Split the worker budget: folds fan out first, and whatever is left
+	// over goes to each fold's best-split search.
+	foldWorkers := opt.Parallelism
+	if foldWorkers > folds {
+		foldWorkers = folds
+	}
+	buildOpt := opt
+	if foldWorkers > 1 {
+		buildOpt.Parallelism = opt.Parallelism / foldWorkers
+	}
+
+	partials := make([][]float64, folds) // per-fold summed squared errors
+	parallelFor(foldWorkers, folds, func(f int) {
 		var train Dataset
 		var test []int
 		for i, p := range perm {
@@ -384,14 +480,23 @@ func CrossValidate(data Dataset, opt Options, folds int, seed uint64) (CVResult,
 				train = append(train, data[i])
 			}
 		}
-		tree := Build(train, opt)
+		tree := Build(train, buildOpt)
+		sq := make([]float64, opt.MaxLeaves)
 		for _, ti := range test {
 			y := data[ti].Y
 			for k := 1; k <= opt.MaxLeaves; k++ {
 				pred := tree.PredictK(data[ti].Counts, k)
 				d := y - pred
-				sqerr[k-1] += d * d
+				sq[k-1] += d * d
 			}
+		}
+		partials[f] = sq
+	})
+
+	sqerr := make([]float64, opt.MaxLeaves) // summed over all held-out points
+	for f := 0; f < folds; f++ {
+		for k := range sqerr {
+			sqerr[k] += partials[f][k]
 		}
 	}
 
