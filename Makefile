@@ -1,7 +1,7 @@
 # Tier-1 verification plus race/vet hygiene in one command: `make check`.
 GO ?= go
 
-.PHONY: build test race vet bench check
+.PHONY: build test race vet bench benchjson check
 
 build:
 	$(GO) build ./...
@@ -19,5 +19,11 @@ vet:
 # (EXPERIMENTS.md records paper-vs-measured per benchmark).
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x -timeout 60m ./...
+
+# Machine-readable tree-kernel benchmark numbers (columnar vs reference).
+benchjson:
+	$(GO) test -run '^$$' -bench RTree -benchmem -benchtime 3x ./internal/rtree/ \
+		| $(GO) run ./cmd/benchjson > BENCH_rtree.json
+	@cat BENCH_rtree.json
 
 check: build vet test race

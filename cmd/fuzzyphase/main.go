@@ -19,12 +19,19 @@
 //	-threads       build thread-separated EIPVs
 //	-parallel N    worker goroutines (0 = one per CPU; output identical at any N)
 //	-cachestats    print Analyze memoization stats to stderr on exit
+//	-cpuprofile F  write a CPU profile to F
+//	-memprofile F  write a heap profile to F on exit
+//	-pprof ADDR    serve net/http/pprof on ADDR (e.g. localhost:6060)
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"time"
 
@@ -63,7 +70,8 @@ commands:
   sweep-interval               EIPV interval-size sensitivity (paper 7.1)
   sweep-machine                machine-model sensitivity (paper 7.1)
 
-flags (after positional args): -seed -intervals -machine -threads -parallel -cachestats
+flags (after positional args): -seed -intervals -machine -threads -parallel
+  -cachestats -cpuprofile -memprofile -pprof
 
   -parallel N runs the analysis engine on N worker goroutines (0, the
   default, uses one per CPU). Output is bit-for-bit identical at any N;
@@ -92,8 +100,18 @@ func main() {
 	parallel := fs.Int("parallel", 0, "worker goroutines (0 = one per CPU)")
 	cachestats := fs.Bool("cachestats", false, "print Analyze cache stats to stderr on exit")
 	csv := fs.Bool("csv", false, "emit raw CSV instead of a text summary (figures 2,3,8,9,10,11)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
+	}
+	startProfiles(*cpuprofile, *memprofile)
+	defer stopProfiles()
+	if *pprofAddr != "" {
+		go func() {
+			fmt.Fprintln(os.Stderr, "# pprof:", http.ListenAndServe(*pprofAddr, nil))
+		}()
 	}
 
 	mcfg, err := cpu.ConfigByName(*machine)
@@ -216,8 +234,8 @@ func main() {
 			fatal(err)
 		}
 		set := eipv.Build(prof, workload.IntervalInsts).SkipWarmup(10)
-		data := experiment.Dataset(set)
-		cv, err := rtree.CrossValidate(data, rtree.DefaultOptions(), 10, *seed)
+		mtx := rtree.IndexDataset(experiment.Dataset(set))
+		cv, err := mtx.CrossValidate(rtree.DefaultOptions(), 10, *seed)
 		if err != nil {
 			fatal(err)
 		}
@@ -361,7 +379,51 @@ func atoi(pos []string) int {
 	return n
 }
 
+// memProfilePath is remembered by startProfiles so stopProfiles can write
+// the heap snapshot at exit.
+var memProfilePath string
+
+// startProfiles begins CPU profiling and records the heap-profile
+// destination. stopProfiles is idempotent and is invoked from both main's
+// defer and fatal, because fatal's os.Exit skips defers.
+func startProfiles(cpuPath, memPath string) {
+	memProfilePath = memPath
+	if cpuPath == "" {
+		return
+	}
+	f, err := os.Create(cpuPath)
+	if err != nil {
+		fatal(err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		fatal(err)
+	}
+}
+
+var profilesStopped bool
+
+func stopProfiles() {
+	if profilesStopped {
+		return
+	}
+	profilesStopped = true
+	pprof.StopCPUProfile()
+	if memProfilePath != "" {
+		f, err := os.Create(memProfilePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fuzzyphase:", err)
+			return
+		}
+		runtime.GC() // settle allocations so the heap profile is current
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "fuzzyphase:", err)
+		}
+		f.Close()
+	}
+}
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "fuzzyphase:", err)
+	stopProfiles()
 	os.Exit(1)
 }

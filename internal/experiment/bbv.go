@@ -53,8 +53,8 @@ func CompareBBV(names []string, opt Options) ([]BBVComparison, error) {
 
 		// Sampled EIPVs, as in the main pipeline.
 		set := buildEIPVs(col, opt)
-		eipvData := Dataset(set)
-		eipvCV, err := rtree.CrossValidate(eipvData, treeOpt, opt.Folds, opt.Seed)
+		eipvMtx := rtree.IndexDataset(Dataset(set))
+		eipvCV, err := eipvMtx.CrossValidate(treeOpt, opt.Folds, opt.Seed)
 		if err != nil {
 			return fmt.Errorf("bbv: %s eipv: %w", name, err)
 		}
@@ -67,7 +67,8 @@ func CompareBBV(names []string, opt Options) ([]BBVComparison, error) {
 			}
 			bbvData = append(bbvData, rtree.Point{Counts: v.Counts, Y: v.CPI})
 		}
-		bbvCV, err := rtree.CrossValidate(bbvData, treeOpt, opt.Folds, opt.Seed)
+		bbvMtx := rtree.IndexDataset(bbvData)
+		bbvCV, err := bbvMtx.CrossValidate(treeOpt, opt.Folds, opt.Seed)
 		if err != nil {
 			return fmt.Errorf("bbv: %s bbv: %w", name, err)
 		}
@@ -76,8 +77,8 @@ func CompareBBV(names []string, opt Options) ([]BBVComparison, error) {
 			Name:         name,
 			EIPV:         eipvCV,
 			BBV:          bbvCV,
-			EIPVFeatures: set.UniqueEIPs(),
-			BBVFeatures:  countFeatures(bbvData),
+			EIPVFeatures: eipvMtx.NumFeatures(),
+			BBVFeatures:  bbvMtx.NumFeatures(),
 		}
 		return nil
 	})
@@ -85,16 +86,6 @@ func CompareBBV(names []string, opt Options) ([]BBVComparison, error) {
 		return nil, err
 	}
 	return out, nil
-}
-
-func countFeatures(data rtree.Dataset) int {
-	seen := map[uint64]struct{}{}
-	for i := range data {
-		for f := range data[i].Counts {
-			seen[f] = struct{}{}
-		}
-	}
-	return len(seen)
 }
 
 // RenderBBVComparison writes the §3.3 comparison table.

@@ -33,7 +33,7 @@ type Explanation struct {
 // remains the honest predictability number; the explanation shows *where*
 // whatever predictability exists comes from.
 func Explain(res *Result) Explanation {
-	tree := rtree.Build(Dataset(res.Set), rtree.DefaultOptions())
+	tree := res.Matrix.Build(rtree.DefaultOptions())
 	ex := Explanation{
 		Name:       res.Name,
 		Tree:       tree,

@@ -403,7 +403,7 @@ func Section46(names []string, opt Options) ([]TreeVsKMeans, error) {
 		if err != nil {
 			return err
 		}
-		tree := rtree.Build(Dataset(res.Set), rtree.Options{MaxLeaves: maxK, MinLeaf: 2, Parallelism: inner.Parallelism})
+		tree := res.Matrix.Build(rtree.Options{MaxLeaves: maxK, MinLeaf: 2, Parallelism: inner.Parallelism})
 		treeRE := tree.InSampleRE(tree.Leaves())
 		row := TreeVsKMeans{Name: name, TreeRE: treeRE, TreeCV: res.CV.REOpt, KMeans: km, KMeansK: kk}
 		if km > 0 {

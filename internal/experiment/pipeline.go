@@ -113,6 +113,10 @@ type Result struct {
 	// Set retains the steady-state EIPVs for downstream analyses
 	// (sampling evaluation, k-means comparison, figures).
 	Set *eipv.Set
+	// Matrix is Set in the regression-tree kernel's indexed columnar form
+	// (dense feature IDs, presorted columns); downstream tree builds
+	// (explain, §4.6) reuse it instead of re-indexing the map dataset.
+	Matrix *rtree.Matrix
 	// Profile retains the raw samples (spread figures).
 	Profile *profiler.Profile
 	// Space maps EIPs back to named code regions.
@@ -193,8 +197,9 @@ func analyzeUncached(name string, opt Options) (*Result, error) {
 		return nil, fmt.Errorf("experiment: %s produced only %d steady-state EIPVs", name, len(set.Vectors))
 	}
 
+	mtx := rtree.IndexDataset(Dataset(set))
 	treeOpt := rtree.Options{MaxLeaves: opt.MaxLeaves, MinLeaf: 2, Parallelism: Workers(opt.Parallelism)}
-	cv, err := rtree.CrossValidate(Dataset(set), treeOpt, opt.Folds, opt.Seed)
+	cv, err := mtx.CrossValidate(treeOpt, opt.Folds, opt.Seed)
 	if err != nil {
 		return nil, fmt.Errorf("experiment: %s: %w", name, err)
 	}
@@ -205,9 +210,10 @@ func analyzeUncached(name string, opt Options) (*Result, error) {
 		CPIVariance: set.CPIVariance(),
 		CV:          cv,
 		MeanCPI:     set.MeanCPI(),
-		UniqueEIPs:  set.UniqueEIPs(),
+		UniqueEIPs:  mtx.NumFeatures(),
 		Intervals:   len(set.Vectors),
 		Set:         set,
+		Matrix:      mtx,
 		Profile:     col.Profile,
 		Space:       col.Space,
 	}

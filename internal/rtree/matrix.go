@@ -1,0 +1,186 @@
+package rtree
+
+import (
+	"fmt"
+	"math"
+	"slices"
+
+	"repro/internal/stats"
+)
+
+// Matrix is the indexed, columnar form of a Dataset: the sparse uint64 EIP
+// space is remapped to dense int32 feature IDs (ascending-EIP order, so
+// feature-ID order IS the lowest-EIP tie-break order), and the nonzero
+// observations are stored twice —
+//
+//   - row-major CSR (per-row feature lists, ascending feature ID) for
+//     O(log nnz(row)) count lookups during prediction and split routing;
+//   - column-major CSR (per-feature (row, count) pairs, presorted by
+//     (count, row)) as the presorted feature index that Build's split
+//     search scans with prefix-sum aggregates, never re-sorting.
+//
+// A Matrix is immutable after IndexDataset and safe for concurrent use by
+// any number of Build/CrossValidate calls (cross-validation folds share
+// one Matrix and select row subsets).
+type Matrix struct {
+	eips []uint64  // feature ID -> EIP, ascending
+	ys   []float64 // per-row response (CPI)
+
+	// Row-major CSR: row r's nonzero features are
+	// rowFeat[rowStart[r]:rowStart[r+1]] (ascending feature ID) with
+	// parallel counts rowCnt.
+	rowStart []int32
+	rowFeat  []int32
+	rowCnt   []int32
+
+	// Column-major CSR: feature f's nonzero observations are
+	// colRow[colStart[f]:colStart[f+1]] with parallel counts colCnt,
+	// sorted by (count, row). Any subsequence of a column (a node's
+	// members) is therefore already in threshold-scan order.
+	colStart []int32
+	colRow   []int32
+	colCnt   []int32
+}
+
+// NumRows returns the number of observations.
+func (m *Matrix) NumRows() int { return len(m.ys) }
+
+// NumFeatures returns the number of distinct EIPs (dense feature IDs).
+func (m *Matrix) NumFeatures() int { return len(m.eips) }
+
+// EIPs returns the dense-ID -> EIP mapping (ascending; do not mutate).
+func (m *Matrix) EIPs() []uint64 { return m.eips }
+
+// Y returns row r's response.
+func (m *Matrix) Y(r int) float64 { return m.ys[r] }
+
+// YVariance returns the population variance of the responses (the paper's
+// E, the denominator of the relative error).
+func (m *Matrix) YVariance() float64 { return stats.Var(m.ys) }
+
+// rowCount returns row r's count for feature f (0 when absent) by binary
+// search over the row's ascending feature list.
+func (m *Matrix) rowCount(r, f int32) int32 {
+	lo, hi := m.rowStart[r], m.rowStart[r+1]
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if m.rowFeat[mid] < f {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < m.rowStart[r+1] && m.rowFeat[lo] == f {
+		return m.rowCnt[lo]
+	}
+	return 0
+}
+
+// IndexDataset converts a map-based Dataset into its columnar indexed
+// form. This is the single boundary where sparse EIP histograms meet the
+// regression-tree kernel; everything past it is dense int32 IDs.
+//
+// Entries with a zero or negative count are dropped: they carry no samples
+// and are equivalent to absent ones for splitting and prediction. Counts
+// must fit in an int32 (they are per-interval sample counts, bounded by
+// the interval length).
+func IndexDataset(d Dataset) *Matrix {
+	m := &Matrix{ys: make([]float64, len(d))}
+
+	// Pass 1: the dense feature space, ascending so that dense-ID order
+	// preserves the lowest-EIP tie-break.
+	nnz := 0
+	for i := range d {
+		m.ys[i] = d[i].Y
+		for e, c := range d[i].Counts {
+			if c <= 0 {
+				continue
+			}
+			if c > math.MaxInt32 {
+				panic(fmt.Sprintf("rtree: count %d for EIP %#x overflows the indexed representation", c, e))
+			}
+			m.eips = append(m.eips, e)
+			nnz++
+		}
+	}
+	slices.Sort(m.eips)
+	m.eips = slices.Compact(m.eips)
+	id := make(map[uint64]int32, len(m.eips))
+	for f, e := range m.eips {
+		id[e] = int32(f)
+	}
+
+	// Pass 2: row-major CSR, each row's (feature, count) pairs sorted by
+	// feature ID. Pairs are packed into uint64 keys so one slices.Sort
+	// orders them without allocations.
+	m.rowStart = make([]int32, len(d)+1)
+	m.rowFeat = make([]int32, 0, nnz)
+	m.rowCnt = make([]int32, 0, nnz)
+	var keys []uint64
+	for i := range d {
+		keys = keys[:0]
+		for e, c := range d[i].Counts {
+			if c <= 0 {
+				continue
+			}
+			keys = append(keys, uint64(id[e])<<32|uint64(uint32(c)))
+		}
+		slices.Sort(keys) // feature IDs are unique per row
+		for _, k := range keys {
+			m.rowFeat = append(m.rowFeat, int32(k>>32))
+			m.rowCnt = append(m.rowCnt, int32(uint32(k)))
+		}
+		m.rowStart[i+1] = int32(len(m.rowFeat))
+	}
+
+	m.buildColumns()
+	return m
+}
+
+// buildColumns derives the presorted column-major CSR from the row-major
+// form: counting sort by feature, then one stable (count, row) sort per
+// feature via packed keys.
+func (m *Matrix) buildColumns() {
+	F := len(m.eips)
+	nnz := len(m.rowFeat)
+	m.colStart = make([]int32, F+1)
+	for _, f := range m.rowFeat {
+		m.colStart[f+1]++
+	}
+	for f := 0; f < F; f++ {
+		m.colStart[f+1] += m.colStart[f]
+	}
+
+	m.colRow = make([]int32, nnz)
+	m.colCnt = make([]int32, nnz)
+	fill := make([]int32, F)
+	for r := 0; r < len(m.ys); r++ {
+		for k := m.rowStart[r]; k < m.rowStart[r+1]; k++ {
+			f := m.rowFeat[k]
+			pos := m.colStart[f] + fill[f]
+			m.colRow[pos] = int32(r)
+			m.colCnt[pos] = m.rowCnt[k]
+			fill[f]++
+		}
+	}
+
+	// Per-feature (count, row) sort. Rows within a feature are unique, so
+	// packing count into the high half makes an unstable sort of the keys
+	// a stable-by-count sort of the entries.
+	var keys []uint64
+	for f := 0; f < F; f++ {
+		s, e := m.colStart[f], m.colStart[f+1]
+		if e-s < 2 {
+			continue
+		}
+		keys = keys[:0]
+		for k := s; k < e; k++ {
+			keys = append(keys, uint64(uint32(m.colCnt[k]))<<32|uint64(uint32(m.colRow[k])))
+		}
+		slices.Sort(keys)
+		for i, k := range keys {
+			m.colCnt[s+int32(i)] = int32(k >> 32)
+			m.colRow[s+int32(i)] = int32(uint32(k))
+		}
+	}
+}

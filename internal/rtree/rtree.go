@@ -10,6 +10,15 @@
 // which yields the nested family T_1 ⊂ T_2 ⊂ … ⊂ T_K in a single pass, so
 // the k-chamber tree for every k ≤ K falls out of one build (§4.3).
 //
+// The split-search kernel is columnar: IndexDataset remaps the sparse
+// uint64 EIP space to dense int32 feature IDs and presorts each feature's
+// (row, count) column once, and growth partitions a row-membership array
+// in place so every node scans only its members' slices of the presorted
+// columns with prefix-sum aggregates — no per-node maps, sorts, or
+// steady-state allocations (scratch comes from a sync.Pool). reference.go
+// retains the original map-based kernel as the oracle the equivalence
+// tests compare against.
+//
 // CrossValidate implements the 10-fold procedure of §4.4 and returns the
 // relative error curve RE_k; 1−RE is the fraction of CPI variance EIPs can
 // explain.
@@ -18,8 +27,6 @@ package rtree
 import (
 	"fmt"
 	"math"
-	"slices"
-	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -76,44 +83,51 @@ type Split struct {
 	Gain float64
 }
 
+// node is one tree node. Membership is a slice [lo, hi) of the builder's
+// row array rather than a materialized index list; the array is
+// partitioned in place as the node splits.
 type node struct {
-	members []int // dataset indices (retained for leaves and diagnostics)
-	sum     float64
-	sumsq   float64
+	lo, hi int32
+	sum    float64
+	sumsq  float64
 
 	split       *Split
 	left, right *node
 
 	// best candidate split found for this node (pre-computed when the
 	// node is created).
-	bestEIP  uint64
-	bestN    int
+	bestFeat int32
+	bestN    int32
 	bestGain float64
+
+	// cols holds the node's slices of the presorted feature columns while
+	// the node is a frontier leaf; it is recycled once the node splits or
+	// can never split.
+	cols *colSet
 }
 
-func (n *node) count() int { return len(n.members) }
+func (n *node) count() int { return int(n.hi - n.lo) }
 
 func (n *node) mean() float64 {
-	if len(n.members) == 0 {
+	if n.count() == 0 {
 		return 0
 	}
-	return n.sum / float64(len(n.members))
+	return n.sum / float64(n.count())
 }
 
 // ss returns the node's within-sum-of-squares.
 func (n *node) ss() float64 {
-	if len(n.members) == 0 {
+	if n.count() == 0 {
 		return 0
 	}
-	return n.sumsq - n.sum*n.sum/float64(len(n.members))
+	return n.sumsq - n.sum*n.sum/float64(n.count())
 }
 
 // Tree is a grown regression tree.
 type Tree struct {
-	data   Dataset
+	m      *Matrix
 	root   *node
 	splits []*node // internal nodes in growth order
-	opt    Options
 }
 
 // Leaves returns the number of chambers in the full tree.
@@ -128,29 +142,56 @@ func (t *Tree) Splits() []Split {
 	return out
 }
 
-// Build grows a tree over data with best-first splitting.
+// Build grows a tree over data with best-first splitting. It is a
+// convenience wrapper that indexes the dataset first; callers building
+// several trees over one dataset (cross-validation, explanation) should
+// IndexDataset once and use Matrix.Build.
 func Build(data Dataset, opt Options) *Tree {
+	return IndexDataset(data).Build(opt)
+}
+
+// Build grows a tree over every row of the matrix.
+func (m *Matrix) Build(opt Options) *Tree { return m.build(nil, opt) }
+
+// build grows a tree over the given rows (nil means all rows) with
+// best-first splitting. All scratch comes from a pooled builder, so
+// steady-state growth does not allocate beyond the retained nodes.
+func (m *Matrix) build(rows []int32, opt Options) *Tree {
 	if opt.MaxLeaves < 1 {
 		opt.MaxLeaves = 1
 	}
 	if opt.MinLeaf < 1 {
 		opt.MinLeaf = 1
 	}
-	t := &Tree{data: data, opt: opt}
-	root := &node{members: make([]int, len(data))}
-	for i := range data {
-		root.members[i] = i
-		root.sum += data[i].Y
-		root.sumsq += data[i].Y * data[i].Y
+	b := getBuilder(m, opt)
+	defer putBuilder(b)
+
+	t := &Tree{m: m}
+	b.t = t
+	if rows == nil {
+		b.rows = b.rows[:0]
+		for i := 0; i < m.NumRows(); i++ {
+			b.rows = append(b.rows, int32(i))
+		}
+	} else {
+		b.rows = append(b.rows[:0], rows...)
+	}
+
+	root := &node{lo: 0, hi: int32(len(b.rows))}
+	for _, r := range b.rows {
+		y := m.ys[r]
+		root.sum += y
+		root.sumsq += y * y
 	}
 	t.root = root
-	t.findBest(root)
+	root.cols = b.rootCols()
+	b.findBest(root)
 
-	frontier := []*node{root}
+	b.frontier = append(b.frontier[:0], root)
 	for t.Leaves() < opt.MaxLeaves {
 		// Pick the leaf with the largest achievable gain.
 		var best *node
-		for _, n := range frontier {
+		for _, n := range b.frontier {
 			if n.bestGain > 1e-12 && (best == nil || n.bestGain > best.bestGain) {
 				best = n
 			}
@@ -158,175 +199,21 @@ func Build(data Dataset, opt Options) *Tree {
 		if best == nil {
 			break // no leaf can be improved
 		}
-		t.applySplit(best)
+		b.applySplit(best)
 		// Replace best in the frontier with its children.
-		for i, n := range frontier {
+		for i, n := range b.frontier {
 			if n == best {
-				frontier[i] = frontier[len(frontier)-1]
-				frontier = frontier[:len(frontier)-1]
+				b.frontier[i] = b.frontier[len(b.frontier)-1]
+				b.frontier = b.frontier[:len(b.frontier)-1]
 				break
 			}
 		}
-		frontier = append(frontier, best.left, best.right)
+		b.frontier = append(b.frontier, best.left, best.right)
+	}
+	for _, n := range b.frontier {
+		b.releaseCols(n)
 	}
 	return t
-}
-
-// cy is one nonzero observation of a feature: its sample count and the
-// member's response.
-type cy struct {
-	c int
-	y float64
-}
-
-// parallelFeatureMin is the feature count below which findBest stays
-// serial: per-feature work is too small to amortize goroutine fan-out.
-const parallelFeatureMin = 128
-
-// findBest computes the node's best (EIP, n) split. Features are sparse:
-// for each EIP appearing in the node we gather its nonzero (count, y)
-// pairs; all remaining members implicitly have count 0. Candidate
-// thresholds are the observed counts (including 0) except the maximum.
-//
-// With opt.Parallelism > 1 and enough features, the per-feature scoring
-// fans out across workers. Each feature's score is computed independently
-// of every other feature (no floating-point accumulation crosses feature
-// boundaries), and the reduction scans features in ascending-EIP order with
-// a strict > comparison, so the chosen split — including tie-breaks toward
-// the lowest EIP and lowest threshold — is identical to the serial scan.
-func (t *Tree) findBest(n *node) {
-	n.bestGain = 0
-	m := len(n.members)
-	if m < 2*t.opt.MinLeaf {
-		return
-	}
-	parentSS := n.ss()
-	if parentSS <= 1e-12 {
-		return
-	}
-
-	// feature -> list of (count, y) for members where count > 0.
-	feat := map[uint64][]cy{}
-	for _, idx := range n.members {
-		p := &t.data[idx]
-		for e, c := range p.Counts {
-			feat[e] = append(feat[e], cy{c, p.Y})
-		}
-	}
-
-	// Deterministic feature order: ties between equally good splits are
-	// broken toward the lowest EIP.
-	order := make([]uint64, 0, len(feat))
-	for e := range feat {
-		order = append(order, e)
-	}
-	slices.Sort(order)
-
-	if t.opt.Parallelism > 1 && len(order) >= parallelFeatureMin {
-		gains := make([]float64, len(order))
-		thrs := make([]int, len(order))
-		parallelFor(t.opt.Parallelism, len(order), func(i int) {
-			gains[i], thrs[i] = t.scoreFeature(n, parentSS, feat[order[i]])
-		})
-		for i, e := range order {
-			if gains[i] > n.bestGain {
-				n.bestGain = gains[i]
-				n.bestEIP = e
-				n.bestN = thrs[i]
-			}
-		}
-		return
-	}
-
-	for _, e := range order {
-		gain, thr := t.scoreFeature(n, parentSS, feat[e])
-		if gain > n.bestGain {
-			n.bestGain = gain
-			n.bestEIP = e
-			n.bestN = thr
-		}
-	}
-}
-
-// scoreFeature scans one feature's candidate thresholds and returns the
-// best achievable gain for this node along with its threshold (the first
-// threshold in ascending order attaining that gain). A gain of 0 means no
-// admissible split.
-func (t *Tree) scoreFeature(n *node, parentSS float64, list []cy) (bestGain float64, bestThr int) {
-	m := len(n.members)
-	nz := m - len(list) // members with implicit zero count
-	// Sort nonzero observations by count.
-	sort.Slice(list, func(i, j int) bool { return list[i].c < list[j].c })
-
-	// Zero-side aggregates.
-	var nzSum, nzSumsq float64
-	for _, v := range list {
-		nzSum += v.y
-		nzSumsq += v.y * v.y
-	}
-	zeroSum := n.sum - nzSum
-	zeroSumsq := n.sumsq - nzSumsq
-
-	// Scan thresholds: after absorbing each distinct count value into
-	// the left side, evaluate the split.
-	leftN := nz
-	leftSum, leftSumsq := zeroSum, zeroSumsq
-	i := 0
-	for i <= len(list) {
-		// Threshold = count value of the left side's maximum; first
-		// iteration (i==0) corresponds to threshold 0 (zeros only).
-		if leftN >= t.opt.MinLeaf && m-leftN >= t.opt.MinLeaf && leftN > 0 && leftN < m {
-			rightN := m - leftN
-			rightSum := n.sum - leftSum
-			rightSumsq := n.sumsq - leftSumsq
-			ssL := leftSumsq - leftSum*leftSum/float64(leftN)
-			ssR := rightSumsq - rightSum*rightSum/float64(rightN)
-			gain := parentSS - ssL - ssR
-			if gain > bestGain {
-				thr := 0
-				if i > 0 {
-					thr = list[i-1].c
-				}
-				bestGain = gain
-				bestThr = thr
-			}
-		}
-		if i == len(list) {
-			break
-		}
-		// Absorb the next run of equal counts into the left side.
-		c := list[i].c
-		for i < len(list) && list[i].c == c {
-			leftN++
-			leftSum += list[i].y
-			leftSumsq += list[i].y * list[i].y
-			i++
-		}
-	}
-	return bestGain, bestThr
-}
-
-// applySplit turns a leaf with a computed best split into an internal node.
-func (t *Tree) applySplit(n *node) {
-	left := &node{}
-	right := &node{}
-	for _, idx := range n.members {
-		p := &t.data[idx]
-		if p.Counts[n.bestEIP] <= n.bestN {
-			left.members = append(left.members, idx)
-			left.sum += p.Y
-			left.sumsq += p.Y * p.Y
-		} else {
-			right.members = append(right.members, idx)
-			right.sum += p.Y
-			right.sumsq += p.Y * p.Y
-		}
-	}
-	n.split = &Split{EIP: n.bestEIP, N: n.bestN, Order: len(t.splits), Gain: n.bestGain}
-	n.left, n.right = left, right
-	t.splits = append(t.splits, n)
-	t.findBest(left)
-	t.findBest(right)
 }
 
 // PredictK routes a point through the k-chamber subtree T_k and returns the
@@ -336,6 +223,20 @@ func (t *Tree) PredictK(counts map[uint64]int, k int) float64 {
 	n := t.root
 	for n.split != nil && n.split.Order <= k-2 {
 		if counts[n.split.EIP] <= n.split.N {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.mean()
+}
+
+// predictRowK is PredictK for a row of the tree's own matrix: the split
+// count is resolved through the dense feature index instead of a map.
+func (t *Tree) predictRowK(row int32, k int) float64 {
+	n := t.root
+	for n.split != nil && n.split.Order <= k-2 {
+		if t.m.rowCount(row, n.bestFeat) <= n.bestN {
 			n = n.left
 		} else {
 			n = n.right
@@ -433,29 +334,52 @@ func parallelFor(workers, n int, fn func(i int)) {
 }
 
 // CrossValidate runs 10-fold cross-validation (folds fixed by seed) and
-// returns the RE_k curve. It returns an error for datasets too small to
-// fold. With opt.Parallelism > 1 the folds are evaluated concurrently;
-// each fold accumulates its squared errors independently and the per-fold
-// partials are reduced in fold order, so the curve is bit-for-bit the same
-// at any worker count.
+// returns the RE_k curve. It is a convenience wrapper that indexes the
+// dataset first; Matrix.CrossValidate avoids re-indexing.
 func CrossValidate(data Dataset, opt Options, folds int, seed uint64) (CVResult, error) {
+	return IndexDataset(data).CrossValidate(opt, folds, seed)
+}
+
+// CrossValidate runs the §4.4 fold procedure over the matrix's rows. With
+// opt.Parallelism > 1 the folds are evaluated concurrently; each fold
+// accumulates its squared errors independently and the per-fold partials
+// are reduced in fold order, so the curve is bit-for-bit the same at any
+// worker count.
+func (m *Matrix) CrossValidate(opt Options, folds int, seed uint64) (CVResult, error) {
+	return crossValidate(m.ys, opt, folds, seed, func(train []int32, buildOpt Options) foldPredictor {
+		t := m.build(train, buildOpt)
+		return t.predictRowK
+	})
+}
+
+// foldPredictor predicts the response of row `row` (an index into the full
+// dataset) under the k-chamber subtree of a fold's model.
+type foldPredictor func(row int32, k int) float64
+
+// crossValidate is the shared fold protocol: it fixes the fold assignment
+// from the seed, trains a model per fold via buildFold, and reduces the
+// held-out squared errors into the RE_k curve. Both the columnar kernel
+// and the reference kernel run through this one implementation, so their
+// CV curves differ only if their trees differ.
+func crossValidate(ys []float64, opt Options, folds int, seed uint64,
+	buildFold func(train []int32, buildOpt Options) foldPredictor) (CVResult, error) {
 	if folds < 2 {
 		return CVResult{}, fmt.Errorf("rtree: need at least 2 folds, got %d", folds)
 	}
-	if len(data) < folds*2 {
-		return CVResult{}, fmt.Errorf("rtree: dataset of %d points too small for %d folds", len(data), folds)
+	if len(ys) < folds*2 {
+		return CVResult{}, fmt.Errorf("rtree: dataset of %d points too small for %d folds", len(ys), folds)
 	}
-	totalVar := data.YVariance()
+	totalVar := stats.Var(ys)
 	if totalVar <= 0 {
 		// Degenerate: constant CPI. The mean predictor is exact; report a
 		// flat curve of zeros.
 		re := make([]float64, opt.MaxLeaves)
-		return CVResult{RE: re, KOpt: 1, REOpt: 0, REAsym: 0, TotalVar: 0, Points: len(data)}, nil
+		return CVResult{RE: re, KOpt: 1, REOpt: 0, REAsym: 0, TotalVar: 0, Points: len(ys)}, nil
 	}
 
 	// Random fold assignment.
 	rng := xrand.New(seed ^ 0xcf01d)
-	perm := make([]int, len(data))
+	perm := make([]int, len(ys))
 	rng.Perm(perm)
 
 	// Split the worker budget: folds fan out first, and whatever is left
@@ -471,22 +395,20 @@ func CrossValidate(data Dataset, opt Options, folds int, seed uint64) (CVResult,
 
 	partials := make([][]float64, folds) // per-fold summed squared errors
 	parallelFor(foldWorkers, folds, func(f int) {
-		var train Dataset
-		var test []int
+		var train, test []int32
 		for i, p := range perm {
 			if p%folds == f {
-				test = append(test, i)
+				test = append(test, int32(i))
 			} else {
-				train = append(train, data[i])
+				train = append(train, int32(i))
 			}
 		}
-		tree := Build(train, buildOpt)
+		pred := buildFold(train, buildOpt)
 		sq := make([]float64, opt.MaxLeaves)
 		for _, ti := range test {
-			y := data[ti].Y
+			y := ys[ti]
 			for k := 1; k <= opt.MaxLeaves; k++ {
-				pred := tree.PredictK(data[ti].Counts, k)
-				d := y - pred
+				d := y - pred(ti, k)
 				sq[k-1] += d * d
 			}
 		}
@@ -500,10 +422,10 @@ func CrossValidate(data Dataset, opt Options, folds int, seed uint64) (CVResult,
 		}
 	}
 
-	res := CVResult{RE: make([]float64, opt.MaxLeaves), TotalVar: totalVar, Points: len(data)}
+	res := CVResult{RE: make([]float64, opt.MaxLeaves), TotalVar: totalVar, Points: len(ys)}
 	res.KOpt, res.REOpt = 1, math.Inf(1)
 	for k := 1; k <= opt.MaxLeaves; k++ {
-		re := (sqerr[k-1] / float64(len(data))) / totalVar
+		re := (sqerr[k-1] / float64(len(ys))) / totalVar
 		res.RE[k-1] = re
 		if re < res.REOpt {
 			res.REOpt = re
