@@ -1,7 +1,7 @@
 # Tier-1 verification plus race/vet hygiene in one command: `make check`.
 GO ?= go
 
-.PHONY: build test race vet bench benchjson check
+.PHONY: build test race vet bench benchjson benchjson-kmeans check results verify-results
 
 build:
 	$(GO) build ./...
@@ -25,5 +25,29 @@ benchjson:
 	$(GO) test -run '^$$' -bench RTree -benchmem -benchtime 3x ./internal/rtree/ \
 		| $(GO) run ./cmd/benchjson > BENCH_rtree.json
 	@cat BENCH_rtree.json
+
+# Machine-readable clustering/sampling-kernel benchmark numbers (dense vs
+# reference).
+benchjson-kmeans:
+	$(GO) test -run '^$$' -bench 'KMeans|Sampling' -benchmem -benchtime 3x \
+		./internal/kmeans/ ./internal/sampling/ \
+		| $(GO) run ./cmd/benchjson > BENCH_kmeans.json
+	@cat BENCH_kmeans.json
+
+# Regenerate the archived paper artifacts in results/ (seed 1, 320
+# intervals, itanium2 — the defaults baked into `fuzzyphase results`).
+results:
+	$(GO) run ./cmd/fuzzyphase results results
+
+# Golden-output regression check: regenerate every results/ artifact twice
+# — serial and on 4 workers — into temp dirs and diff byte-for-byte
+# against the archive. Fails on any nondeterminism or output drift.
+verify-results:
+	rm -rf /tmp/fuzzyphase-verify-serial /tmp/fuzzyphase-verify-parallel
+	$(GO) run ./cmd/fuzzyphase results /tmp/fuzzyphase-verify-serial -parallel 1
+	diff -r results /tmp/fuzzyphase-verify-serial
+	$(GO) run ./cmd/fuzzyphase results /tmp/fuzzyphase-verify-parallel -parallel 4
+	diff -r results /tmp/fuzzyphase-verify-parallel
+	@echo "verify-results: all $$(ls results | wc -l) artifacts byte-identical (serial and -parallel 4)"
 
 check: build vet test race

@@ -9,6 +9,7 @@
 //	fuzzyphase table <1|2> [flags]
 //	fuzzyphase compare-kmeans <workload>... [flags]
 //	fuzzyphase sampling [budget] [flags]
+//	fuzzyphase results [dir] [flags]
 //	fuzzyphase sweep-interval | sweep-machine [flags]
 //
 // Flags (after the subcommand's positional arguments):
@@ -67,6 +68,7 @@ commands:
   save-profile <workload> <f>  collect a profile and archive it as JSON
   analyze-profile <f>          re-analyze an archived profile offline
   sampling [budget]            evaluate sampling techniques (paper 7)
+  results [dir]                regenerate every archived results/ artifact
   sweep-interval               EIPV interval-size sensitivity (paper 7.1)
   sweep-machine                machine-model sensitivity (paper 7.1)
 
@@ -265,6 +267,17 @@ func main() {
 			fatal(err)
 		}
 		experiment.RenderSampling(os.Stdout, rows)
+
+	case "results":
+		dir := "results"
+		if len(pos) == 1 {
+			dir = pos[0]
+		} else if len(pos) > 1 {
+			usage()
+		}
+		if err := runResults(dir, opt); err != nil {
+			fatal(err)
+		}
 
 	case "sweep-interval":
 		rows, err := experiment.Section71Intervals([]string{"odb-h.q13", "odb-h.q18", "spec.mcf"}, opt)

@@ -9,6 +9,7 @@
 package eipv
 
 import (
+	"slices"
 	"sort"
 
 	"repro/internal/cpu"
@@ -65,16 +66,26 @@ func (s *Set) CPIVariance() float64 { return stats.Var(s.CPIs()) }
 // MeanCPI returns the mean interval CPI.
 func (s *Set) MeanCPI() float64 { return stats.Mean(s.CPIs()) }
 
-// UniqueEIPs returns the number of distinct EIPs across all vectors.
-func (s *Set) UniqueEIPs() int {
+// EIPs returns the distinct EIPs across all vectors in ascending order —
+// the canonical feature enumeration the dense analysis kernels (rtree,
+// kmeans) index by.
+func (s *Set) EIPs() []uint64 {
 	seen := map[uint64]struct{}{}
 	for i := range s.Vectors {
 		for e := range s.Vectors[i].Counts {
 			seen[e] = struct{}{}
 		}
 	}
-	return len(seen)
+	out := make([]uint64, 0, len(seen))
+	for e := range seen {
+		out = append(out, e)
+	}
+	slices.Sort(out)
+	return out
 }
+
+// UniqueEIPs returns the number of distinct EIPs across all vectors.
+func (s *Set) UniqueEIPs() int { return len(s.EIPs()) }
 
 // SkipWarmup returns a Set without the first n vectors of each thread
 // stream (the paper analyzes steady-state windows).

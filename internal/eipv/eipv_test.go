@@ -78,6 +78,15 @@ func TestCPIVarianceAndMean(t *testing.T) {
 	if s.UniqueEIPs() != 8 {
 		t.Fatalf("unique EIPs = %d, want 8", s.UniqueEIPs())
 	}
+	eips := s.EIPs()
+	if len(eips) != 8 {
+		t.Fatalf("EIPs() returned %d entries, want 8", len(eips))
+	}
+	for i := 1; i < len(eips); i++ {
+		if eips[i-1] >= eips[i] {
+			t.Fatalf("EIPs() not strictly ascending at %d: %v", i, eips[i-1:i+1])
+		}
+	}
 }
 
 func TestBreakdownPerInterval(t *testing.T) {

@@ -1,0 +1,79 @@
+package experiment
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/sampling"
+)
+
+// renderClusteringSections regenerates the two clustering-driven sections —
+// §4.6 (tree vs. k-means) and §7 (sampling techniques) — at the given
+// parallelism and returns the concatenated rendered text.
+func renderClusteringSections(t *testing.T, parallelism int) string {
+	t.Helper()
+	opt := Options{Seed: 1, Intervals: 40, Warmup: 4, Parallelism: parallelism}
+	names := []string{"spec.gzip", "spec.mcf"}
+	var buf bytes.Buffer
+
+	rows46, err := Section46(names, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	RenderTreeVsKMeans(&buf, rows46)
+
+	rows7, err := Section7Sampling(names, 6, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	RenderSampling(&buf, rows7)
+
+	return buf.String()
+}
+
+// TestClusteringSectionsDeterminism is the direct regression test for the
+// map-iteration-order bug this kernel replacement fixes: the k-means and
+// SimPoint paths used to accumulate floats in Go's randomized map order,
+// so §4.6 and §7 output drifted run to run and across Parallelism
+// settings. With the dense kernels, two serial runs (cache invalidated in
+// between, so the second really recomputes) and a parallel run must all
+// render byte-identically.
+func TestClusteringSectionsDeterminism(t *testing.T) {
+	InvalidateAnalysisCache()
+	first := renderClusteringSections(t, 1)
+	InvalidateAnalysisCache()
+	second := renderClusteringSections(t, 1)
+	if first != second {
+		t.Fatalf("serial reruns differ:\n--- first ---\n%s\n--- second ---\n%s", first, second)
+	}
+	InvalidateAnalysisCache()
+	parallel := renderClusteringSections(t, 8)
+	if first != parallel {
+		t.Fatalf("output differs between Parallelism=1 and Parallelism=8:\n--- serial ---\n%s\n--- parallel ---\n%s", first, parallel)
+	}
+}
+
+// TestRenderSamplingNaN: an undefined relative error (zero true mean) is
+// rendered as "n/a", never as a perfect 0.00%.
+func TestRenderSamplingNaN(t *testing.T) {
+	rows := []SamplingRow{{
+		Name: "synthetic",
+		Evals: []sampling.Eval{
+			{Technique: sampling.Uniform, RelErr: math.NaN()},
+			{Technique: sampling.Random, RelErr: 0.25},
+		},
+	}}
+	var buf bytes.Buffer
+	RenderSampling(&buf, rows)
+	out := buf.String()
+	if !bytes.Contains(buf.Bytes(), []byte("n/a")) {
+		t.Fatalf("NaN RelErr not rendered as n/a:\n%s", out)
+	}
+	if bytes.Contains(buf.Bytes(), []byte("NaN")) {
+		t.Fatalf("raw NaN leaked into render:\n%s", out)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("25.00%")) {
+		t.Fatalf("defined RelErr missing:\n%s", out)
+	}
+}

@@ -9,7 +9,6 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/db"
 	"repro/internal/eipv"
-	"repro/internal/kmeans"
 	"repro/internal/quadrant"
 	"repro/internal/rtree"
 	"repro/internal/sampling"
@@ -399,7 +398,7 @@ func Section46(names []string, opt Options) ([]TreeVsKMeans, error) {
 			return err
 		}
 		maxK := inner.withDefaults().MaxLeaves
-		km, kk, err := kmeans.BestRE(Vectors(res.Set), res.Set.CPIs(), maxK, inner.Seed)
+		km, kk, err := res.KMeans.BestRE(res.Set.CPIs(), maxK, inner.Seed)
 		if err != nil {
 			return err
 		}
@@ -444,7 +443,7 @@ func Section7Sampling(names []string, budget int, opt Options) ([]SamplingRow, e
 		if err != nil {
 			return err
 		}
-		evals, err := sampling.Evaluate(res.Set.CPIs(), Vectors(res.Set), budget, inner.Seed)
+		evals, err := sampling.Evaluate(res.Set.CPIs(), res.KMeans, budget, inner.Seed)
 		if err != nil {
 			return err
 		}

@@ -117,6 +117,11 @@ type Result struct {
 	// (dense feature IDs, presorted columns); downstream tree builds
 	// (explain, §4.6) reuse it instead of re-indexing the map dataset.
 	Matrix *rtree.Matrix
+	// KMeans wraps Matrix's row CSR for the clustering/sampling kernels
+	// (§4.6, §7) — the same indexed dataset, shared zero-copy, so every
+	// downstream consumer accumulates floats in the one canonical
+	// (ascending-feature-ID) order.
+	KMeans *kmeans.Matrix
 	// Profile retains the raw samples (spread figures).
 	Profile *profiler.Profile
 	// Space maps EIPs back to named code regions.
@@ -141,15 +146,6 @@ func Dataset(s *eipv.Set) rtree.Dataset {
 		data[i] = rtree.Point{Counts: s.Vectors[i].Counts, Y: s.Vectors[i].CPI}
 	}
 	return data
-}
-
-// Vectors converts the steady-state EIPVs to k-means vectors.
-func Vectors(s *eipv.Set) []kmeans.Vector {
-	out := make([]kmeans.Vector, len(s.Vectors))
-	for i := range s.Vectors {
-		out[i] = kmeans.Vector(s.Vectors[i].Counts)
-	}
-	return out
 }
 
 // buildEIPVs converts a collection into its steady-state EIPV set
@@ -204,6 +200,7 @@ func analyzeUncached(name string, opt Options) (*Result, error) {
 		return nil, fmt.Errorf("experiment: %s: %w", name, err)
 	}
 
+	rs, rf, rc := mtx.RowCSR()
 	res := &Result{
 		Name:        name,
 		Machine:     opt.Machine.Name,
@@ -214,6 +211,7 @@ func analyzeUncached(name string, opt Options) (*Result, error) {
 		Intervals:   len(set.Vectors),
 		Set:         set,
 		Matrix:      mtx,
+		KMeans:      kmeans.FromCSR(mtx.EIPs(), rs, rf, rc),
 		Profile:     col.Profile,
 		Space:       col.Space,
 	}

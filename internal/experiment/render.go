@@ -3,6 +3,7 @@ package experiment
 import (
 	"fmt"
 	"io"
+	"math"
 	"strings"
 
 	"repro/internal/quadrant"
@@ -164,7 +165,13 @@ func RenderSampling(w io.Writer, rows []SamplingRow) {
 	for _, r := range rows {
 		fmt.Fprintf(w, "%-14s %-6s", r.Name, r.Quadrant)
 		for _, e := range r.Evals {
-			fmt.Fprintf(w, " %11.2f%%", e.RelErr*100)
+			if math.IsNaN(e.RelErr) {
+				// Relative error is undefined when the true mean is zero
+				// (sampling.Eval flags it as NaN); render it honestly.
+				fmt.Fprintf(w, " %12s", "n/a")
+			} else {
+				fmt.Fprintf(w, " %11.2f%%", e.RelErr*100)
+			}
 		}
 		fmt.Fprintf(w, " %12s %10d\n", r.Recommend, r.RequiredFor2Pct)
 	}

@@ -4,69 +4,20 @@
 // code-execution similarity alone — CPI plays no role in forming clusters —
 // and each cluster is then assumed to be performance-homogeneous.
 //
-// The clustering operates on sparse vectors with k-means++ seeding and
-// Lloyd iterations, all deterministic under an explicit seed.
+// The clustering runs on a dense-feature indexed Matrix (matrix.go) with
+// k-means++ seeding and Lloyd iterations, all deterministic under an
+// explicit seed: every floating-point accumulation follows a fixed,
+// documented order, so two runs — and runs at any engine parallelism —
+// produce bit-identical clusterings. The original map-backed kernel is
+// retained in reference.go as the equivalence-test oracle.
 package kmeans
 
 import (
-	"fmt"
-	"math"
-
 	"repro/internal/stats"
-	"repro/internal/xrand"
 )
 
 // Vector is a sparse observation (EIP -> sample count).
 type Vector map[uint64]int
-
-// norm2 returns the squared L2 norm.
-func norm2(v Vector) float64 {
-	s := 0.0
-	for _, c := range v {
-		s += float64(c) * float64(c)
-	}
-	return s
-}
-
-// centroid is dense over the union of features it has seen.
-type centroid struct {
-	sum   map[uint64]float64
-	n     int
-	norm2 float64 // cached squared norm of the mean
-}
-
-func (c *centroid) mean(f uint64) float64 {
-	if c.n == 0 {
-		return 0
-	}
-	return c.sum[f] / float64(c.n)
-}
-
-// dist2 returns squared Euclidean distance between v and the centroid's
-// mean, computed sparsely: |v|² − 2·v·μ + |μ|².
-func (c *centroid) dist2(v Vector, vn2 float64) float64 {
-	dot := 0.0
-	for f, cnt := range v {
-		dot += float64(cnt) * c.mean(f)
-	}
-	d := vn2 - 2*dot + c.norm2
-	if d < 0 {
-		d = 0
-	}
-	return d
-}
-
-func (c *centroid) finalize() {
-	c.norm2 = 0
-	if c.n == 0 {
-		return
-	}
-	inv := 1 / float64(c.n)
-	for _, s := range c.sum {
-		m := s * inv
-		c.norm2 += m * m
-	}
-}
 
 // Result is a clustering outcome.
 type Result struct {
@@ -78,124 +29,16 @@ type Result struct {
 }
 
 // Cluster partitions vectors into k clusters. It returns an error if k is
-// not in [1, len(vectors)].
+// not in [1, len(vectors)]. This is the map-API convenience wrapper around
+// IndexVectors + Matrix.Cluster; callers clustering the same vectors more
+// than once (e.g. a k sweep) should index once and use the Matrix methods.
 func Cluster(vectors []Vector, k int, seed uint64, maxIter int) (*Result, error) {
-	n := len(vectors)
-	if k < 1 || k > n {
-		return nil, fmt.Errorf("kmeans: k=%d outside [1, %d]", k, n)
-	}
-	if maxIter < 1 {
-		maxIter = 50
-	}
-	rng := xrand.New(seed ^ 0x4b3a)
-	norms := make([]float64, n)
-	for i, v := range vectors {
-		norms[i] = norm2(v)
-	}
+	return IndexVectors(vectors).Cluster(k, seed, maxIter)
+}
 
-	// k-means++ seeding.
-	centers := make([]*centroid, 0, k)
-	addCenter := func(i int) {
-		c := &centroid{sum: map[uint64]float64{}, n: 1}
-		for f, cnt := range vectors[i] {
-			c.sum[f] = float64(cnt)
-		}
-		c.finalize()
-		centers = append(centers, c)
-	}
-	addCenter(rng.Intn(n))
-	minD := make([]float64, n)
-	for i := range minD {
-		minD[i] = centers[0].dist2(vectors[i], norms[i])
-	}
-	for len(centers) < k {
-		total := 0.0
-		for _, d := range minD {
-			total += d
-		}
-		var pick int
-		if total <= 0 {
-			pick = rng.Intn(n)
-		} else {
-			r := rng.Float64() * total
-			acc := 0.0
-			pick = n - 1
-			for i, d := range minD {
-				acc += d
-				if acc >= r {
-					pick = i
-					break
-				}
-			}
-		}
-		addCenter(pick)
-		last := centers[len(centers)-1]
-		for i := range minD {
-			if d := last.dist2(vectors[i], norms[i]); d < minD[i] {
-				minD[i] = d
-			}
-		}
-	}
-
-	assign := make([]int, n)
-	for i := range assign {
-		assign[i] = -1
-	}
-	res := &Result{K: k, Assign: assign}
-	for iter := 0; iter < maxIter; iter++ {
-		res.Iterations = iter + 1
-		changed := false
-		for i, v := range vectors {
-			best, bestD := 0, math.Inf(1)
-			for ci, c := range centers {
-				if d := c.dist2(v, norms[i]); d < bestD {
-					best, bestD = ci, d
-				}
-			}
-			if assign[i] != best {
-				assign[i] = best
-				changed = true
-			}
-		}
-		if !changed {
-			break
-		}
-		// Recompute centroids.
-		for _, c := range centers {
-			c.sum = map[uint64]float64{}
-			c.n = 0
-		}
-		for i, v := range vectors {
-			c := centers[assign[i]]
-			c.n++
-			for f, cnt := range v {
-				c.sum[f] += float64(cnt)
-			}
-		}
-		for ci, c := range centers {
-			if c.n == 0 {
-				// Re-seed an empty cluster on the farthest point.
-				far, farD := 0, -1.0
-				for i, v := range vectors {
-					if d := centers[assign[i]].dist2(v, norms[i]); d > farD {
-						far, farD = i, d
-					}
-				}
-				c.n = 1
-				c.sum = map[uint64]float64{}
-				for f, cnt := range vectors[far] {
-					c.sum[f] = float64(cnt)
-				}
-				assign[far] = ci
-			}
-			c.finalize()
-		}
-	}
-	res.Sizes = make([]int, k)
-	for _, a := range assign {
-		res.Sizes[a]++
-	}
-	return res, nil
+// BestRE is the map-API wrapper around IndexVectors + Matrix.BestRE.
+func BestRE(vectors []Vector, ys []float64, maxK int, seed uint64) (float64, int, error) {
+	return IndexVectors(vectors).BestRE(ys, maxK, seed)
 }
 
 // PredictRE evaluates how well the clustering predicts the responses ys
@@ -226,33 +69,11 @@ func PredictRE(res *Result, ys []float64) float64 {
 	return mse / totalVar
 }
 
-// BestRE sweeps k over a graded grid up to maxK and returns the minimum
-// PredictRE and its k (the paper picks each algorithm's best k <= 50
-// independently, §4.6). The grid is dense for small k — where the curve
-// moves — and sparse beyond 10, bounding the sweep's cost.
-func BestRE(vectors []Vector, ys []float64, maxK int, seed uint64) (float64, int, error) {
-	if maxK > len(vectors) {
-		maxK = len(vectors)
-	}
-	grid := []int{1, 2, 3, 4, 5, 6, 7, 8, 10, 12, 16, 20, 26, 32, 40, 50}
-	bestRE, bestK := math.Inf(1), 1
-	for _, k := range grid {
-		if k > maxK {
-			break
-		}
-		res, err := Cluster(vectors, k, seed, 40)
-		if err != nil {
-			return 0, 0, err
-		}
-		if re := PredictRE(res, ys); re < bestRE {
-			bestRE, bestK = re, k
-		}
-	}
-	return bestRE, bestK, nil
-}
-
 // ClusterCPIVariance returns each cluster's CPI variance — the quantity
-// stratified sampling (§4.6, [25]) uses to allocate extra samples.
+// stratified sampling (§4.6, [25]) uses to allocate extra samples. A
+// cluster with no members has no CPI distribution; its variance is
+// reported as zero explicitly (never NaN), so downstream Neyman weights
+// treat empty clusters as weightless.
 func ClusterCPIVariance(res *Result, ys []float64) []float64 {
 	accs := make([]stats.Acc, res.K)
 	for i, a := range res.Assign {
@@ -260,6 +81,10 @@ func ClusterCPIVariance(res *Result, ys []float64) []float64 {
 	}
 	out := make([]float64, res.K)
 	for i := range accs {
+		if accs[i].N() == 0 {
+			out[i] = 0
+			continue
+		}
 		out[i] = accs[i].Var()
 	}
 	return out

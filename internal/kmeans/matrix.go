@@ -1,0 +1,348 @@
+package kmeans
+
+import (
+	"fmt"
+	"math"
+	"slices"
+
+	"repro/internal/xrand"
+)
+
+// Matrix is the indexed, dense-feature form of a []Vector, mirroring the
+// regression-tree kernel's rtree.Matrix: the sparse uint64 EIP space is
+// remapped to dense int32 feature IDs (ascending-EIP order) and the
+// nonzero observations are stored as row-major CSR — row r's (feature,
+// count) pairs in ascending feature-ID order. Per-row squared norms are
+// cached at construction.
+//
+// Every floating-point accumulation in the clustering kernels walks this
+// layout in a fixed, documented order (rows ascending; within a row,
+// features ascending; dense centroid passes over the full feature range
+// ascending), so results are bit-identical across runs, map-hash seeds
+// and Parallelism settings — the property the map-backed kernel lacked.
+// The retained reference oracle (reference.go) pins the semantics.
+//
+// A Matrix is immutable after construction and safe for concurrent use by
+// any number of Cluster/BestRE calls.
+type Matrix struct {
+	eips []uint64 // feature ID -> EIP, ascending
+
+	// Row-major CSR: row r's nonzero features are
+	// rowFeat[rowStart[r]:rowStart[r+1]] (ascending feature ID) with
+	// parallel counts rowCnt.
+	rowStart []int32
+	rowFeat  []int32
+	rowCnt   []int32
+
+	// norms caches each row's squared L2 norm, accumulated over the row's
+	// features in ascending feature-ID order.
+	norms []float64
+}
+
+// IndexVectors converts sparse map-backed vectors into the dense indexed
+// form. Entries with a zero or negative count carry no samples and are
+// dropped (equivalent to absent). Counts must fit in an int32.
+func IndexVectors(vectors []Vector) *Matrix {
+	m := &Matrix{rowStart: make([]int32, len(vectors)+1)}
+
+	// Pass 1: the dense feature space, ascending so that dense-ID order
+	// is ascending-EIP order — the same canonical ordering
+	// rtree.IndexDataset uses.
+	nnz := 0
+	for _, v := range vectors {
+		for e, c := range v {
+			if c <= 0 {
+				continue
+			}
+			if c > math.MaxInt32 {
+				panic(fmt.Sprintf("kmeans: count %d for EIP %#x overflows the indexed representation", c, e))
+			}
+			m.eips = append(m.eips, e)
+			nnz++
+		}
+	}
+	slices.Sort(m.eips)
+	m.eips = slices.Compact(m.eips)
+	id := make(map[uint64]int32, len(m.eips))
+	for f, e := range m.eips {
+		id[e] = int32(f)
+	}
+
+	// Pass 2: row-major CSR, each row's (feature, count) pairs sorted by
+	// feature ID via packed uint64 keys (feature IDs are unique per row).
+	m.rowFeat = make([]int32, 0, nnz)
+	m.rowCnt = make([]int32, 0, nnz)
+	var keys []uint64
+	for i, v := range vectors {
+		keys = keys[:0]
+		for e, c := range v {
+			if c <= 0 {
+				continue
+			}
+			keys = append(keys, uint64(id[e])<<32|uint64(uint32(c)))
+		}
+		slices.Sort(keys)
+		for _, k := range keys {
+			m.rowFeat = append(m.rowFeat, int32(k>>32))
+			m.rowCnt = append(m.rowCnt, int32(uint32(k)))
+		}
+		m.rowStart[i+1] = int32(len(m.rowFeat))
+	}
+
+	m.initNorms()
+	return m
+}
+
+// FromCSR wraps an existing row-major CSR triplet zero-copy — the bridge
+// that lets the analysis pipeline share one indexed dataset between the
+// regression-tree kernel (rtree.Matrix.RowCSR) and the clustering kernel
+// instead of re-indexing the map vectors. eips is the dense-ID -> EIP
+// mapping (ascending); rows must list features in ascending-ID order with
+// positive counts. The caller must not mutate the slices afterwards.
+func FromCSR(eips []uint64, rowStart, rowFeat, rowCnt []int32) *Matrix {
+	m := &Matrix{eips: eips, rowStart: rowStart, rowFeat: rowFeat, rowCnt: rowCnt}
+	m.initNorms()
+	return m
+}
+
+// initNorms caches per-row squared norms (features ascending).
+func (m *Matrix) initNorms() {
+	m.norms = make([]float64, m.NumRows())
+	for r := range m.norms {
+		s := 0.0
+		for k := m.rowStart[r]; k < m.rowStart[r+1]; k++ {
+			c := float64(m.rowCnt[k])
+			s += c * c
+		}
+		m.norms[r] = s
+	}
+}
+
+// NumRows returns the number of vectors.
+func (m *Matrix) NumRows() int { return len(m.rowStart) - 1 }
+
+// NumFeatures returns the number of distinct EIPs (dense feature IDs).
+func (m *Matrix) NumFeatures() int { return len(m.eips) }
+
+// EIPs returns the dense-ID -> EIP mapping (ascending; do not mutate).
+func (m *Matrix) EIPs() []uint64 { return m.eips }
+
+// Norm2 returns row r's squared L2 norm.
+func (m *Matrix) Norm2(r int) float64 { return m.norms[r] }
+
+// Row returns row r's nonzero features (ascending feature ID) and their
+// parallel counts. The returned slices are views; do not mutate.
+func (m *Matrix) Row(r int) (feat, cnt []int32) {
+	lo, hi := m.rowStart[r], m.rowStart[r+1]
+	return m.rowFeat[lo:hi], m.rowCnt[lo:hi]
+}
+
+// centroids holds k dense centroid accumulators over f features, stored
+// row-major in one slab. The accumulation orders mirror the reference
+// oracle's sorted-key map walks exactly: absent features contribute +0.0
+// to every sum, which float64 addition leaves bit-unchanged.
+type centroids struct {
+	f     int
+	sum   []float64 // cluster c's sums occupy sum[c*f : (c+1)*f]
+	n     []int
+	norm2 []float64 // cached squared norm of each mean
+}
+
+func newCentroids(k, f int) *centroids {
+	return &centroids{f: f, sum: make([]float64, k*f), n: make([]int, k), norm2: make([]float64, k)}
+}
+
+// setTo resets cluster c to exactly row r (the seeding and empty-cluster
+// re-seeding primitive).
+func (cs *centroids) setTo(c int, m *Matrix, r int) {
+	row := cs.sum[c*cs.f : (c+1)*cs.f]
+	for i := range row {
+		row[i] = 0
+	}
+	feat, cnt := m.Row(r)
+	for j, f := range feat {
+		row[f] = float64(cnt[j])
+	}
+	cs.n[c] = 1
+}
+
+// finalize caches |mean|², scanning features in ascending order.
+func (cs *centroids) finalize(c int) {
+	cs.norm2[c] = 0
+	if cs.n[c] == 0 {
+		return
+	}
+	inv := 1 / float64(cs.n[c])
+	row := cs.sum[c*cs.f : (c+1)*cs.f]
+	for _, s := range row {
+		mv := s * inv
+		cs.norm2[c] += mv * mv
+	}
+}
+
+// dist2 returns squared Euclidean distance between row r and cluster c's
+// mean, computed sparsely: |v|² − 2·v·μ + |μ|². The dot product walks the
+// row's features in ascending-ID order, dividing each centroid sum by n
+// (the same per-feature mean the reference oracle computes).
+func (cs *centroids) dist2(c int, m *Matrix, r int) float64 {
+	dot := 0.0
+	if n := float64(cs.n[c]); n > 0 {
+		row := cs.sum[c*cs.f : (c+1)*cs.f]
+		feat, cnt := m.Row(r)
+		for j, f := range feat {
+			dot += float64(cnt[j]) * (row[f] / n)
+		}
+	}
+	d := m.norms[r] - 2*dot + cs.norm2[c]
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// Cluster partitions the matrix's rows into k clusters with k-means++
+// seeding and Lloyd iterations, deterministic under the explicit seed. It
+// returns an error if k is not in [1, NumRows]. The random draw sequence,
+// tie-breaks and floating-point accumulation orders reproduce the
+// reference oracle (reference.go) bit-for-bit.
+func (m *Matrix) Cluster(k int, seed uint64, maxIter int) (*Result, error) {
+	n := m.NumRows()
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("kmeans: k=%d outside [1, %d]", k, n)
+	}
+	if maxIter < 1 {
+		maxIter = 50
+	}
+	rng := xrand.New(seed ^ 0x4b3a)
+	cs := newCentroids(k, m.NumFeatures())
+
+	// k-means++ seeding.
+	centers := 0
+	addCenter := func(i int) {
+		cs.setTo(centers, m, i)
+		cs.finalize(centers)
+		centers++
+	}
+	addCenter(rng.Intn(n))
+	minD := make([]float64, n)
+	for i := range minD {
+		minD[i] = cs.dist2(0, m, i)
+	}
+	for centers < k {
+		total := 0.0
+		for _, d := range minD {
+			total += d
+		}
+		var pick int
+		if total <= 0 {
+			pick = rng.Intn(n)
+		} else {
+			r := rng.Float64() * total
+			acc := 0.0
+			pick = n - 1
+			for i, d := range minD {
+				acc += d
+				if acc >= r {
+					pick = i
+					break
+				}
+			}
+		}
+		addCenter(pick)
+		last := centers - 1
+		for i := range minD {
+			if d := cs.dist2(last, m, i); d < minD[i] {
+				minD[i] = d
+			}
+		}
+	}
+
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	res := &Result{K: k, Assign: assign}
+	for iter := 0; iter < maxIter; iter++ {
+		res.Iterations = iter + 1
+		changed := false
+		for i := 0; i < n; i++ {
+			best, bestD := 0, math.Inf(1)
+			for c := 0; c < k; c++ {
+				if d := cs.dist2(c, m, i); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		// Recompute centroids: rows ascending, features ascending within
+		// each row.
+		for i := range cs.sum {
+			cs.sum[i] = 0
+		}
+		for c := 0; c < k; c++ {
+			cs.n[c] = 0
+		}
+		for i := 0; i < n; i++ {
+			c := assign[i]
+			cs.n[c]++
+			row := cs.sum[c*cs.f : (c+1)*cs.f]
+			feat, cnt := m.Row(i)
+			for j, f := range feat {
+				row[f] += float64(cnt[j])
+			}
+		}
+		for c := 0; c < k; c++ {
+			if cs.n[c] == 0 {
+				// Re-seed an empty cluster on the farthest point. Like the
+				// original kernel, the search sees fresh sums but norm2
+				// caches that are only refreshed for clusters below c —
+				// a quirk, but part of the pinned semantics.
+				far, farD := 0, -1.0
+				for i := 0; i < n; i++ {
+					if d := cs.dist2(assign[i], m, i); d > farD {
+						far, farD = i, d
+					}
+				}
+				cs.setTo(c, m, far)
+				assign[far] = c
+			}
+			cs.finalize(c)
+		}
+	}
+	res.Sizes = make([]int, k)
+	for _, a := range assign {
+		res.Sizes[a]++
+	}
+	return res, nil
+}
+
+// BestRE sweeps k over a graded grid up to maxK and returns the minimum
+// PredictRE and its k (the paper picks each algorithm's best k <= 50
+// independently, §4.6). The grid is dense for small k — where the curve
+// moves — and sparse beyond 10, bounding the sweep's cost.
+func (m *Matrix) BestRE(ys []float64, maxK int, seed uint64) (float64, int, error) {
+	if maxK > m.NumRows() {
+		maxK = m.NumRows()
+	}
+	grid := []int{1, 2, 3, 4, 5, 6, 7, 8, 10, 12, 16, 20, 26, 32, 40, 50}
+	bestRE, bestK := math.Inf(1), 1
+	for _, k := range grid {
+		if k > maxK {
+			break
+		}
+		res, err := m.Cluster(k, seed, 40)
+		if err != nil {
+			return 0, 0, err
+		}
+		if re := PredictRE(res, ys); re < bestRE {
+			bestRE, bestK = re, k
+		}
+	}
+	return bestRE, bestK, nil
+}

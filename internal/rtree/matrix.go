@@ -54,6 +54,14 @@ func (m *Matrix) EIPs() []uint64 { return m.eips }
 // Y returns row r's response.
 func (m *Matrix) Y(r int) float64 { return m.ys[r] }
 
+// RowCSR exposes the row-major CSR triplet (rows' features ascending by
+// dense ID, positive counts only) so other dense kernels — notably
+// kmeans.FromCSR — can share this index zero-copy instead of re-indexing
+// the map dataset. Callers must not mutate the returned slices.
+func (m *Matrix) RowCSR() (rowStart, rowFeat, rowCnt []int32) {
+	return m.rowStart, m.rowFeat, m.rowCnt
+}
+
 // YVariance returns the population variance of the responses (the paper's
 // E, the denominator of the relative error).
 func (m *Matrix) YVariance() float64 { return stats.Var(m.ys) }

@@ -1,0 +1,40 @@
+package sampling
+
+import (
+	"testing"
+
+	"repro/internal/kmeans"
+	"repro/internal/xrand"
+)
+
+func BenchmarkSamplingEvaluate(b *testing.B) {
+	rng := xrand.New(42)
+	vectors, cpis := randomVectors(rng, 320, 120, 40)
+	mtx := kmeans.IndexVectors(vectors)
+
+	b.Run("dense", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := Evaluate(cpis, mtx, 8, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	// The representative search alone, dense vs. the retained map oracle.
+	res, err := mtx.Cluster(8, 1, 40)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("representatives-dense", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			representatives(res, mtx)
+		}
+	})
+	b.Run("representatives-reference", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			referenceRepresentatives(res, vectors)
+		}
+	})
+}

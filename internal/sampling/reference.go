@@ -1,0 +1,82 @@
+package sampling
+
+import (
+	"math"
+	"slices"
+
+	"repro/internal/kmeans"
+)
+
+// This file retains the original map-based SimPoint representative search
+// as the oracle for the dense kernel's equivalence tests, mirroring the
+// kmeans and rtree reference files. As there, the one deliberate deviation
+// from the pre-dense code is that map iterations feeding floating-point
+// accumulations walk their keys in ascending order — the ascending
+// feature-ID order the dense kernel uses — so the oracle is bit-equal to
+// representatives() rather than varying run to run with Go's randomized
+// map order.
+
+func refSortedKeys[V any](m map[uint64]V) []uint64 {
+	out := make([]uint64, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	slices.Sort(out)
+	return out
+}
+
+// referenceRepresentatives picks, per non-empty cluster, the member
+// closest to the cluster's centroid, with map-backed centroid sums.
+func referenceRepresentatives(res *kmeans.Result, vectors []kmeans.Vector) []int {
+	sums := make([]map[uint64]float64, res.K)
+	for i := range sums {
+		sums[i] = map[uint64]float64{}
+	}
+	for i, v := range vectors {
+		c := res.Assign[i]
+		if res.Sizes[c] == 0 {
+			continue
+		}
+		for _, f := range refSortedKeys(v) {
+			sums[c][f] += float64(v[f])
+		}
+	}
+	best := make([]int, res.K)
+	bestD := make([]float64, res.K)
+	for c := range best {
+		best[c] = -1
+		bestD[c] = math.Inf(1)
+	}
+	for i, v := range vectors {
+		c := res.Assign[i]
+		if res.Sizes[c] == 0 {
+			continue
+		}
+		n := float64(res.Sizes[c])
+		d := 0.0
+		seen := map[uint64]bool{}
+		for _, f := range refSortedKeys(v) {
+			mu := sums[c][f] / n
+			diff := float64(v[f]) - mu
+			d += diff * diff
+			seen[f] = true
+		}
+		for _, f := range refSortedKeys(sums[c]) {
+			if !seen[f] {
+				mu := sums[c][f] / n
+				d += mu * mu
+			}
+		}
+		if d < bestD[c] {
+			bestD[c] = d
+			best[c] = i
+		}
+	}
+	out := best[:0]
+	for _, b := range best {
+		if b >= 0 {
+			out = append(out, b)
+		}
+	}
+	return out
+}

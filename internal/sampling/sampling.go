@@ -53,10 +53,11 @@ func (t Technique) String() string {
 func Techniques() []Technique { return []Technique{Uniform, Random, PhaseBased, Stratified} }
 
 // Estimate approximates the mean of cpis using n sampled intervals with
-// the given technique. vectors supplies the EIPVs for the phase-driven
-// techniques (may be nil for Uniform/Random). It returns the estimate and
-// the number of intervals actually simulated.
-func Estimate(t Technique, cpis []float64, vectors []kmeans.Vector, n int, seed uint64) (float64, int, error) {
+// the given technique. mtx supplies the indexed EIPVs (kmeans.Matrix rows,
+// one per interval) for the phase-driven techniques; it may be nil for
+// Uniform/Random. It returns the estimate and the number of intervals
+// actually simulated.
+func Estimate(t Technique, cpis []float64, mtx *kmeans.Matrix, n int, seed uint64) (float64, int, error) {
 	m := len(cpis)
 	if m == 0 {
 		return 0, 0, fmt.Errorf("sampling: empty CPI series")
@@ -92,14 +93,14 @@ func Estimate(t Technique, cpis []float64, vectors []kmeans.Vector, n int, seed 
 		return sum / float64(n), n, nil
 
 	case PhaseBased:
-		if len(vectors) != m {
-			return 0, 0, fmt.Errorf("sampling: phase-based needs EIPVs (%d != %d)", len(vectors), m)
+		if mtx == nil || mtx.NumRows() != m {
+			return 0, 0, fmt.Errorf("sampling: phase-based needs an EIPV matrix with %d rows", m)
 		}
-		res, err := kmeans.Cluster(vectors, n, seed, 40)
+		res, err := mtx.Cluster(n, seed, 40)
 		if err != nil {
 			return 0, 0, err
 		}
-		reps := representatives(res, vectors)
+		reps := representatives(res, mtx)
 		est := 0.0
 		for c, rep := range reps {
 			est += float64(res.Sizes[c]) / float64(m) * cpis[rep]
@@ -107,8 +108,8 @@ func Estimate(t Technique, cpis []float64, vectors []kmeans.Vector, n int, seed 
 		return est, len(reps), nil
 
 	case Stratified:
-		if len(vectors) != m {
-			return 0, 0, fmt.Errorf("sampling: stratified needs EIPVs (%d != %d)", len(vectors), m)
+		if mtx == nil || mtx.NumRows() != m {
+			return 0, 0, fmt.Errorf("sampling: stratified needs an EIPV matrix with %d rows", m)
 		}
 		// Use fewer clusters and spend the remaining budget inside the
 		// high-variance ones.
@@ -116,7 +117,7 @@ func Estimate(t Technique, cpis []float64, vectors []kmeans.Vector, n int, seed 
 		if k < 1 {
 			k = 1
 		}
-		res, err := kmeans.Cluster(vectors, k, seed, 40)
+		res, err := mtx.Cluster(k, seed, 40)
 		if err != nil {
 			return 0, 0, err
 		}
@@ -129,16 +130,33 @@ func Estimate(t Technique, cpis []float64, vectors []kmeans.Vector, n int, seed 
 
 // representatives picks, per cluster, the member closest to the cluster's
 // centroid in EIPV space (the SimPoint rule).
-func representatives(res *kmeans.Result, vectors []kmeans.Vector) []int {
-	// Compute centroids as dense maps.
-	sums := make([]map[uint64]float64, res.K)
-	for i := range sums {
-		sums[i] = map[uint64]float64{}
-	}
-	for i, v := range vectors {
+//
+// The kernel is dense over the matrix's feature space with a fixed
+// accumulation order — centroid sums over rows ascending (features
+// ascending within a row); each member's squared distance as a membership
+// pass over its own features ascending, then a complement pass over the
+// full feature range ascending skipping the member's features. Absent
+// features have a centroid sum of exactly 0, contributing +0.0 — so the
+// result is bit-identical to the retained map-based oracle
+// (referenceRepresentatives) walking its map keys in sorted order.
+//
+// Clusters with Sizes[c] == 0 are skipped explicitly: a member-relative
+// distance against an empty cluster would divide by zero and propagate
+// NaN into the representative choice. (kmeans.Cluster re-seeds empty
+// clusters so its results never trigger this; the guard protects against
+// hand-built Results.)
+func representatives(res *kmeans.Result, mtx *kmeans.Matrix) []int {
+	nf := mtx.NumFeatures()
+	sums := make([]float64, res.K*nf) // cluster c's sums: sums[c*nf:(c+1)*nf]
+	for i := 0; i < mtx.NumRows(); i++ {
 		c := res.Assign[i]
-		for f, cnt := range v {
-			sums[c][f] += float64(cnt)
+		if res.Sizes[c] == 0 {
+			continue
+		}
+		row := sums[c*nf : (c+1)*nf]
+		feat, cnt := mtx.Row(i)
+		for j, f := range feat {
+			row[f] += float64(cnt[j])
 		}
 	}
 	best := make([]int, res.K)
@@ -147,22 +165,31 @@ func representatives(res *kmeans.Result, vectors []kmeans.Vector) []int {
 		best[c] = -1
 		bestD[c] = math.Inf(1)
 	}
-	for i, v := range vectors {
+	inRow := make([]bool, nf)
+	for i := 0; i < mtx.NumRows(); i++ {
 		c := res.Assign[i]
-		n := float64(res.Sizes[c])
-		d := 0.0
-		seen := map[uint64]bool{}
-		for f, cnt := range v {
-			mu := sums[c][f] / n
-			diff := float64(cnt) - mu
-			d += diff * diff
-			seen[f] = true
+		if res.Sizes[c] == 0 {
+			continue
 		}
-		for f, s := range sums[c] {
-			if !seen[f] {
-				mu := s / n
-				d += mu * mu
+		n := float64(res.Sizes[c])
+		row := sums[c*nf : (c+1)*nf]
+		feat, cnt := mtx.Row(i)
+		d := 0.0
+		for j, f := range feat {
+			mu := row[f] / n
+			diff := float64(cnt[j]) - mu
+			d += diff * diff
+			inRow[f] = true
+		}
+		for f := 0; f < nf; f++ {
+			if inRow[f] {
+				continue
 			}
+			mu := row[f] / n
+			d += mu * mu
+		}
+		for _, f := range feat {
+			inRow[f] = false
 		}
 		if d < bestD[c] {
 			bestD[c] = d
@@ -214,7 +241,10 @@ func stratifiedEstimate(res *kmeans.Result, cpis []float64, n int, seed uint64) 
 		for c := range order {
 			order[c] = cw{c, weights[c]}
 		}
-		sort.Slice(order, func(i, j int) bool { return order[i].w > order[j].w })
+		// Stable so equal-weight clusters keep ascending-index order —
+		// sort.Slice's internal randomization would otherwise make the
+		// allocation (and thus the estimate) vary run to run on ties.
+		sort.SliceStable(order, func(i, j int) bool { return order[i].w > order[j].w })
 		for i := 0; i < extra; i++ {
 			alloc[order[i%len(order)].c]++
 		}
@@ -336,23 +366,30 @@ type Eval struct {
 	Technique Technique
 	Estimate  float64
 	TrueMean  float64
-	// RelErr is |estimate - truth| / truth.
+	// RelErr is |estimate - truth| / truth. When the true mean is zero the
+	// ratio is undefined and RelErr is NaN (check with math.IsNaN, or use
+	// Defined); it is never silently reported as a perfect 0.
 	RelErr float64
 	// Simulated is the number of intervals the technique would simulate.
 	Simulated int
 }
 
+// Defined reports whether RelErr carries a meaningful value (the true
+// mean was nonzero).
+func (e Eval) Defined() bool { return !math.IsNaN(e.RelErr) }
+
 // Evaluate runs every technique with the same interval budget and reports
-// each one's relative CPI-estimation error.
-func Evaluate(cpis []float64, vectors []kmeans.Vector, budget int, seed uint64) ([]Eval, error) {
+// each one's relative CPI-estimation error. mtx supplies the indexed
+// EIPVs for the phase-driven techniques.
+func Evaluate(cpis []float64, mtx *kmeans.Matrix, budget int, seed uint64) ([]Eval, error) {
 	truth := stats.Mean(cpis)
 	out := make([]Eval, 0, 4)
 	for _, tech := range Techniques() {
-		est, sim, err := Estimate(tech, cpis, vectors, budget, seed)
+		est, sim, err := Estimate(tech, cpis, mtx, budget, seed)
 		if err != nil {
 			return nil, err
 		}
-		rel := 0.0
+		rel := math.NaN() // undefined against a zero truth
 		if truth != 0 {
 			rel = math.Abs(est-truth) / truth
 		}

@@ -42,7 +42,7 @@ func TestUniformOnFlatSeries(t *testing.T) {
 
 func TestPhaseBasedNailsPhasedWorkload(t *testing.T) {
 	cpis, vectors := phased(120)
-	est, sim, err := Estimate(PhaseBased, cpis, vectors, 2, 3)
+	est, sim, err := Estimate(PhaseBased, cpis, kmeans.IndexVectors(vectors), 2, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +59,7 @@ func TestUniformNeedsMoreOnPhasedWorkload(t *testing.T) {
 	// phase-based with the same budget is exact. This is the paper's Q-IV
 	// argument.
 	cpis, vectors := phased(120)
-	evals, err := Evaluate(cpis, vectors, 2, 3)
+	evals, err := Evaluate(cpis, kmeans.IndexVectors(vectors), 2, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,10 +112,11 @@ func TestStratifiedBeatsPhaseOnNoisyCluster(t *testing.T) {
 		}
 	}
 	// Average error over several seeds to avoid a lucky representative.
+	mtx := kmeans.IndexVectors(vectors)
 	var stratErr, phaseErr float64
 	const trials = 10
 	for s := uint64(0); s < trials; s++ {
-		evals, err := Evaluate(cpis, vectors, 8, s)
+		evals, err := Evaluate(cpis, mtx, 8, s)
 		if err != nil {
 			t.Fatal(err)
 		}
