@@ -1,7 +1,7 @@
 # Tier-1 verification plus race/vet hygiene in one command: `make check`.
 GO ?= go
 
-.PHONY: build test race vet bench benchjson benchjson-kmeans check results verify-results
+.PHONY: build test race vet bench benchjson benchjson-kmeans check results verify-results serve-smoke
 
 build:
 	$(GO) build ./...
@@ -49,5 +49,26 @@ verify-results:
 	$(GO) run ./cmd/fuzzyphase results /tmp/fuzzyphase-verify-parallel -parallel 4
 	diff -r results /tmp/fuzzyphase-verify-parallel
 	@echo "verify-results: all $$(ls results | wc -l) artifacts byte-identical (serial and -parallel 4)"
+
+# End-to-end smoke of the serve mode over a real TCP socket: boot the
+# binary, hit an analysis endpoint and /metrics, then check that SIGTERM
+# produces a graceful (exit 0) drain.
+serve-smoke:
+	$(GO) build -o /tmp/fuzzyphase-smoke ./cmd/fuzzyphase
+	/tmp/fuzzyphase-smoke serve -addr 127.0.0.1:18080 -cache-entries 8 & \
+	SERVER=$$!; \
+	trap 'kill $$SERVER 2>/dev/null' EXIT; \
+	for i in $$(seq 1 50); do \
+		curl -sf http://127.0.0.1:18080/healthz >/dev/null 2>&1 && break; sleep 0.2; \
+	done; \
+	curl -sf 'http://127.0.0.1:18080/analyze/spec.gzip?intervals=60&warmup=6' || exit 1; \
+	curl -sf 'http://127.0.0.1:18080/analyze/spec.gzip?intervals=60&warmup=6' >/dev/null || exit 1; \
+	curl -sf http://127.0.0.1:18080/metrics | grep -q 'fuzzyphase_analyze_cache_hits_total 1' || exit 1; \
+	curl -sf http://127.0.0.1:18080/figure/13 | grep -q 'quadrant space' || exit 1; \
+	kill -TERM $$SERVER; \
+	wait $$SERVER; STATUS=$$?; \
+	trap - EXIT; \
+	test $$STATUS -eq 0 || { echo "serve did not drain cleanly (exit $$STATUS)"; exit 1; }; \
+	echo "serve-smoke: analyze + metrics + graceful shutdown OK"
 
 check: build vet test race

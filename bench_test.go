@@ -11,6 +11,7 @@
 package fuzzyphase
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"runtime"
@@ -49,7 +50,7 @@ func BenchmarkTable1ExampleTree(b *testing.B) {
 func BenchmarkFigure2RelativeError(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		cold()
-		curves, err := experiment.Figure2(benchOpt())
+		curves, err := experiment.Figure2(context.Background(), benchOpt())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -61,7 +62,7 @@ func BenchmarkFigure2RelativeError(b *testing.B) {
 func BenchmarkFigure3Spread(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		cold()
-		spreads, err := experiment.Figure3(benchOpt())
+		spreads, err := experiment.Figure3(context.Background(), benchOpt())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -73,7 +74,7 @@ func BenchmarkFigure3Spread(b *testing.B) {
 func BenchmarkFigure4CPIBreakdownODBC(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		cold()
-		bd, err := experiment.Figure4(benchOpt())
+		bd, err := experiment.Figure4(context.Background(), benchOpt())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -84,7 +85,7 @@ func BenchmarkFigure4CPIBreakdownODBC(b *testing.B) {
 func BenchmarkFigure5CPIBreakdownSjAS(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		cold()
-		bd, err := experiment.Figure5(benchOpt())
+		bd, err := experiment.Figure5(context.Background(), benchOpt())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -95,7 +96,7 @@ func BenchmarkFigure5CPIBreakdownSjAS(b *testing.B) {
 func BenchmarkFigure6ThreadSeparationODBC(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		cold()
-		tc, err := experiment.Figure6(benchOpt())
+		tc, err := experiment.Figure6(context.Background(), benchOpt())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -107,7 +108,7 @@ func BenchmarkFigure6ThreadSeparationODBC(b *testing.B) {
 func BenchmarkFigure7ThreadSeparationSjAS(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		cold()
-		tc, err := experiment.Figure7(benchOpt())
+		tc, err := experiment.Figure7(context.Background(), benchOpt())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -119,7 +120,7 @@ func BenchmarkFigure7ThreadSeparationSjAS(b *testing.B) {
 func BenchmarkFigure8Q13RelativeError(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		cold()
-		c, err := experiment.Figure8(benchOpt())
+		c, err := experiment.Figure8(context.Background(), benchOpt())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -131,7 +132,7 @@ func BenchmarkFigure8Q13RelativeError(b *testing.B) {
 func BenchmarkFigure9Q13Spread(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		cold()
-		s, err := experiment.Figure9(benchOpt())
+		s, err := experiment.Figure9(context.Background(), benchOpt())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -142,7 +143,7 @@ func BenchmarkFigure9Q13Spread(b *testing.B) {
 func BenchmarkFigure10Q18RelativeError(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		cold()
-		c, err := experiment.Figure10(benchOpt())
+		c, err := experiment.Figure10(context.Background(), benchOpt())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -153,7 +154,7 @@ func BenchmarkFigure10Q18RelativeError(b *testing.B) {
 func BenchmarkFigure11Q18Spread(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		cold()
-		s, err := experiment.Figure11(benchOpt())
+		s, err := experiment.Figure11(context.Background(), benchOpt())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -164,7 +165,7 @@ func BenchmarkFigure11Q18Spread(b *testing.B) {
 func BenchmarkFigure12Q18Breakdown(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		cold()
-		bd, err := experiment.Figure12(benchOpt())
+		bd, err := experiment.Figure12(context.Background(), benchOpt())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -186,7 +187,7 @@ func BenchmarkFigure13QuadrantSpace(b *testing.B) {
 func BenchmarkTable2Quadrants(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		cold()
-		rows, err := experiment.Table2(benchOpt(), nil)
+		rows, err := experiment.Table2(context.Background(), benchOpt(), nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -205,7 +206,7 @@ func BenchmarkSection46TreeVsKMeans(b *testing.B) {
 	names := []string{"odb-h.q13", "odb-h.q18", "spec.mcf", "spec.gzip"}
 	for i := 0; i < b.N; i++ {
 		cold()
-		rows, err := experiment.Section46(names, benchOpt())
+		rows, err := experiment.Section46(context.Background(), names, benchOpt())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -227,7 +228,7 @@ func BenchmarkSection7SamplingTechniques(b *testing.B) {
 	names := []string{"odb-c", "odb-h.q13", "odb-h.q18", "spec.mcf"}
 	for i := 0; i < b.N; i++ {
 		cold()
-		rows, err := experiment.Section7Sampling(names, 8, benchOpt())
+		rows, err := experiment.Section7Sampling(context.Background(), names, 8, benchOpt())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -240,7 +241,7 @@ func BenchmarkSection7SamplingTechniques(b *testing.B) {
 func BenchmarkSection71IntervalSweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		cold()
-		rows, err := experiment.Section71Intervals([]string{"odb-h.q13", "spec.mcf"}, benchOpt())
+		rows, err := experiment.Section71Intervals(context.Background(), []string{"odb-h.q13", "spec.mcf"}, benchOpt())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -252,7 +253,7 @@ func BenchmarkSection71IntervalSweep(b *testing.B) {
 func BenchmarkSection71MachineSweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		cold()
-		rows, err := experiment.Section71Machines([]string{"odb-h.q13", "spec.mcf"}, benchOpt())
+		rows, err := experiment.Section71Machines(context.Background(), []string{"odb-h.q13", "spec.mcf"}, benchOpt())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -374,7 +375,7 @@ func BenchmarkAblationJoinAlgorithm(b *testing.B) {
 // experiment: sampled EIP vectors vs full basic-block vectors (§3.3).
 func BenchmarkSection33BBVComparison(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiment.CompareBBV([]string{"odb-h.q13"}, benchOpt())
+		rows, err := experiment.CompareBBV(context.Background(), []string{"odb-h.q13"}, benchOpt())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -405,7 +406,7 @@ func BenchmarkTable2Parallel(b *testing.B) {
 			opt.Parallelism = workers
 			for i := 0; i < b.N; i++ {
 				cold()
-				rows, err := experiment.Table2(opt, nil)
+				rows, err := experiment.Table2(context.Background(), opt, nil)
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -11,6 +11,7 @@
 //	fuzzyphase sampling [budget] [flags]
 //	fuzzyphase results [dir] [flags]
 //	fuzzyphase sweep-interval | sweep-machine [flags]
+//	fuzzyphase serve [flags]
 //
 // Flags (after the subcommand's positional arguments):
 //
@@ -26,6 +27,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
@@ -34,6 +36,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strconv"
+	"sync"
 	"time"
 
 	fuzzyphase "repro"
@@ -71,9 +74,11 @@ commands:
   results [dir]                regenerate every archived results/ artifact
   sweep-interval               EIPV interval-size sensitivity (paper 7.1)
   sweep-machine                machine-model sensitivity (paper 7.1)
+  serve                        run the analysis engine as an HTTP service
 
 flags (after positional args): -seed -intervals -machine -threads -parallel
   -cachestats -cpuprofile -memprofile -pprof
+serve flags: -addr -cache-entries -timeout -grace
 
   -parallel N runs the analysis engine on N worker goroutines (0, the
   default, uses one per CPU). Output is bit-for-bit identical at any N;
@@ -102,6 +107,10 @@ func main() {
 	parallel := fs.Int("parallel", 0, "worker goroutines (0 = one per CPU)")
 	cachestats := fs.Bool("cachestats", false, "print Analyze cache stats to stderr on exit")
 	csv := fs.Bool("csv", false, "emit raw CSV instead of a text summary (figures 2,3,8,9,10,11)")
+	addr := fs.String("addr", ":8080", "serve: listen address")
+	cacheEntries := fs.Int("cache-entries", 64, "serve: Analyze LRU cache cap in entries (0 = unbounded)")
+	reqTimeout := fs.Duration("timeout", 0, "serve: per-request deadline (0 = none)")
+	grace := fs.Duration("grace", 10*time.Second, "serve: shutdown drain window")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
@@ -192,7 +201,7 @@ func main() {
 		if len(names) == 0 {
 			names = []string{"sjas", "odb-h.q2", "odb-h.q13", "odb-h.q18", "spec.gcc", "spec.mcf"}
 		}
-		rows, err := experiment.Section46(names, opt)
+		rows, err := experiment.Section46(context.Background(), names, opt)
 		if err != nil {
 			fatal(err)
 		}
@@ -250,7 +259,7 @@ func main() {
 		if len(names) == 0 {
 			names = []string{"odb-h.q13", "odb-h.q18", "spec.mcf"}
 		}
-		rows, err := experiment.CompareBBV(names, opt)
+		rows, err := experiment.CompareBBV(context.Background(), names, opt)
 		if err != nil {
 			fatal(err)
 		}
@@ -262,7 +271,7 @@ func main() {
 			budget = atoi(pos)
 		}
 		names := []string{"odb-c", "odb-h.q4", "odb-h.q13", "odb-h.q18", "spec.mcf", "spec.gzip"}
-		rows, err := experiment.Section7Sampling(names, budget, opt)
+		rows, err := experiment.Section7Sampling(context.Background(), names, budget, opt)
 		if err != nil {
 			fatal(err)
 		}
@@ -280,14 +289,22 @@ func main() {
 		}
 
 	case "sweep-interval":
-		rows, err := experiment.Section71Intervals([]string{"odb-h.q13", "odb-h.q18", "spec.mcf"}, opt)
+		rows, err := experiment.Section71Intervals(context.Background(), []string{"odb-h.q13", "odb-h.q18", "spec.mcf"}, opt)
 		if err != nil {
 			fatal(err)
 		}
 		experiment.RenderSweep(os.Stdout, "EIPV interval-size sweep (paper 7.1)", rows)
 
+	case "serve":
+		if len(pos) != 0 {
+			usage()
+		}
+		if err := runServe(*addr, *cacheEntries, *reqTimeout, *grace, opt); err != nil {
+			fatal(err)
+		}
+
 	case "sweep-machine":
-		rows, err := experiment.Section71Machines([]string{"odb-c", "odb-h.q13", "spec.mcf"}, opt)
+		rows, err := experiment.Section71Machines(context.Background(), []string{"odb-c", "odb-h.q13", "spec.mcf"}, opt)
 		if err != nil {
 			fatal(err)
 		}
@@ -309,7 +326,7 @@ func runTable2(opt fuzzyphase.Options) error {
 	start := time.Now()
 	count := 0
 	var analysis time.Duration
-	rows, err := experiment.Table2(opt, func(name string, row experiment.Table2Row) {
+	rows, err := experiment.Table2(context.Background(), opt, func(name string, row experiment.Table2Row) {
 		count++
 		analysis += row.Elapsed
 		fmt.Fprintf(os.Stderr, "[%3d/%d %8s] %-14s var=%.4f RE=%.3f -> %s\n",
@@ -338,25 +355,25 @@ func runTable2(opt fuzzyphase.Options) error {
 func figureCSV(id int, opt fuzzyphase.Options) error {
 	switch id {
 	case 2:
-		curves, err := experiment.Figure2(opt)
+		curves, err := experiment.Figure2(context.Background(), opt)
 		if err != nil {
 			return err
 		}
 		experiment.RenderCurvesCSV(os.Stdout, curves)
 	case 8:
-		c, err := experiment.Figure8(opt)
+		c, err := experiment.Figure8(context.Background(), opt)
 		if err != nil {
 			return err
 		}
 		experiment.RenderCurvesCSV(os.Stdout, []experiment.Curve{c})
 	case 10:
-		c, err := experiment.Figure10(opt)
+		c, err := experiment.Figure10(context.Background(), opt)
 		if err != nil {
 			return err
 		}
 		experiment.RenderCurvesCSV(os.Stdout, []experiment.Curve{c})
 	case 3:
-		spreads, err := experiment.Figure3(opt)
+		spreads, err := experiment.Figure3(context.Background(), opt)
 		if err != nil {
 			return err
 		}
@@ -364,13 +381,13 @@ func figureCSV(id int, opt fuzzyphase.Options) error {
 			experiment.RenderSpreadCSV(os.Stdout, s)
 		}
 	case 9:
-		s, err := experiment.Figure9(opt)
+		s, err := experiment.Figure9(context.Background(), opt)
 		if err != nil {
 			return err
 		}
 		experiment.RenderSpreadCSV(os.Stdout, s)
 	case 11:
-		s, err := experiment.Figure11(opt)
+		s, err := experiment.Figure11(context.Background(), opt)
 		if err != nil {
 			return err
 		}
@@ -413,13 +430,17 @@ func startProfiles(cpuPath, memPath string) {
 	}
 }
 
-var profilesStopped bool
+// stopProfilesOnce makes stopProfiles safe to call from main's defer and
+// from fatal concurrently (e.g. a goroutine calling fatal while main
+// unwinds): a plain bool here was a data race, and a second StopCPUProfile
+// or heap write must never happen.
+var stopProfilesOnce sync.Once
 
 func stopProfiles() {
-	if profilesStopped {
-		return
-	}
-	profilesStopped = true
+	stopProfilesOnce.Do(stopProfilesImpl)
+}
+
+func stopProfilesImpl() {
 	pprof.StopCPUProfile()
 	if memProfilePath != "" {
 		f, err := os.Create(memProfilePath)

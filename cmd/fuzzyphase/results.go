@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -78,7 +79,7 @@ var artifacts = []artifact{
 		return nil
 	}},
 	{name: "section33-bbv.txt", gen: func(opt fuzzyphase.Options, w io.Writer) error {
-		rows, err := experiment.CompareBBV([]string{"odb-h.q13", "odb-h.q18", "spec.mcf", "odb-c"}, opt)
+		rows, err := experiment.CompareBBV(context.Background(), []string{"odb-h.q13", "odb-h.q18", "spec.mcf", "odb-c"}, opt)
 		if err != nil {
 			return err
 		}
@@ -86,7 +87,7 @@ var artifacts = []artifact{
 		return nil
 	}},
 	{name: "section46.txt", gen: func(opt fuzzyphase.Options, w io.Writer) error {
-		rows, err := experiment.Section46([]string{"sjas", "odb-h.q2", "odb-h.q13", "odb-h.q18", "spec.gcc", "spec.mcf"}, opt)
+		rows, err := experiment.Section46(context.Background(), []string{"sjas", "odb-h.q2", "odb-h.q13", "odb-h.q18", "spec.gcc", "spec.mcf"}, opt)
 		if err != nil {
 			return err
 		}
@@ -94,7 +95,7 @@ var artifacts = []artifact{
 		return nil
 	}},
 	{name: "section7.txt", gen: func(opt fuzzyphase.Options, w io.Writer) error {
-		rows, err := experiment.Section7Sampling([]string{"odb-c", "odb-h.q4", "odb-h.q13", "odb-h.q18", "spec.mcf", "spec.gzip"}, 10, opt)
+		rows, err := experiment.Section7Sampling(context.Background(), []string{"odb-c", "odb-h.q4", "odb-h.q13", "odb-h.q18", "spec.mcf", "spec.gzip"}, 10, opt)
 		if err != nil {
 			return err
 		}
@@ -102,7 +103,7 @@ var artifacts = []artifact{
 		return nil
 	}},
 	{name: "section71-intervals.txt", gen: func(opt fuzzyphase.Options, w io.Writer) error {
-		rows, err := experiment.Section71Intervals([]string{"odb-h.q13", "odb-h.q18", "spec.mcf"}, opt)
+		rows, err := experiment.Section71Intervals(context.Background(), []string{"odb-h.q13", "odb-h.q18", "spec.mcf"}, opt)
 		if err != nil {
 			return err
 		}
@@ -110,7 +111,7 @@ var artifacts = []artifact{
 		return nil
 	}},
 	{name: "section71-machines.txt", gen: func(opt fuzzyphase.Options, w io.Writer) error {
-		rows, err := experiment.Section71Machines([]string{"odb-c", "odb-h.q13", "spec.mcf"}, opt)
+		rows, err := experiment.Section71Machines(context.Background(), []string{"odb-c", "odb-h.q13", "spec.mcf"}, opt)
 		if err != nil {
 			return err
 		}

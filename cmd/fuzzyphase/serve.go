@@ -1,0 +1,34 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	fuzzyphase "repro"
+	"repro/internal/serve"
+)
+
+// runServe runs the analysis engine as a long-lived HTTP service until
+// SIGINT/SIGTERM, then drains in-flight requests. The -seed/-intervals/
+// -machine/-threads/-parallel flags become the per-request Option
+// defaults; query parameters override them per request.
+func runServe(addr string, cacheEntries int, timeout, grace time.Duration, opt fuzzyphase.Options) error {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	srv := serve.New(serve.Config{
+		Addr:           addr,
+		Base:           opt,
+		CacheEntries:   cacheEntries,
+		RequestTimeout: timeout,
+		ShutdownGrace:  grace,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "# "+format+"\n", args...)
+		},
+	})
+	return srv.ListenAndServe(ctx)
+}

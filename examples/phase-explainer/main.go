@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -41,7 +42,7 @@ func main() {
 	fmt.Println()
 
 	fmt.Println("=== the paper's deferred 3.3 comparison on this run ===")
-	rows, err := experiment.CompareBBV([]string{"odb-h.q13", "odb-h.q18"}, opt)
+	rows, err := experiment.CompareBBV(context.Background(), []string{"odb-h.q13", "odb-h.q18"}, opt)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -26,7 +27,7 @@ func main() {
 	}
 
 	const budget = 8 // simulated intervals each technique may spend
-	rows, err := experiment.Section7Sampling(names, budget, opt)
+	rows, err := experiment.Section7Sampling(context.Background(), names, budget, opt)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -30,6 +30,7 @@
 package fuzzyphase
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -80,6 +81,21 @@ func Analyze(name string, opt Options) (*Result, error) {
 	return experiment.Analyze(name, opt)
 }
 
+// AnalyzeCtx is Analyze with cooperative cancellation: when ctx expires the
+// call returns ctx.Err(). Concurrent callers of the same configuration
+// share one pipeline flight; the flight is aborted only when every caller
+// waiting on it has gone, and an aborted flight is never cached, so a
+// cancelled request cannot poison results for later callers.
+func AnalyzeCtx(ctx context.Context, name string, opt Options) (*Result, error) {
+	return experiment.AnalyzeCtx(ctx, name, opt)
+}
+
+// SetAnalysisCacheCap bounds the Analyze memoization cache to at most n
+// completed results (LRU eviction) and returns the previous cap. n <= 0
+// removes the bound — the default, which keeps the CLI's
+// simulate-once-per-configuration behavior.
+func SetAnalysisCacheCap(n int) int { return experiment.SetAnalysisCacheCap(n) }
+
 // CacheStats is a snapshot of the Analyze memoization counters.
 type CacheStats = experiment.CacheStats
 
@@ -105,15 +121,21 @@ func Recommend(q Quadrant) Technique { return quadrant.Recommend(q) }
 
 // Figure regenerates the numbered paper figure (2-13) as text on w.
 func Figure(id int, opt Options, w io.Writer) error {
+	return FigureCtx(context.Background(), id, opt, w)
+}
+
+// FigureCtx is Figure with cooperative cancellation of the underlying
+// analyses.
+func FigureCtx(ctx context.Context, id int, opt Options, w io.Writer) error {
 	switch id {
 	case 2:
-		curves, err := experiment.Figure2(opt)
+		curves, err := experiment.Figure2(ctx, opt)
 		if err != nil {
 			return err
 		}
 		experiment.RenderCurves(w, "Figure 2: relative error trend for ODB-C & SjAS", curves)
 	case 3:
-		spreads, err := experiment.Figure3(opt)
+		spreads, err := experiment.Figure3(ctx, opt)
 		if err != nil {
 			return err
 		}
@@ -122,57 +144,57 @@ func Figure(id int, opt Options, w io.Writer) error {
 			experiment.RenderSpread(w, s)
 		}
 	case 4:
-		b, err := experiment.Figure4(opt)
+		b, err := experiment.Figure4(ctx, opt)
 		if err != nil {
 			return err
 		}
 		experiment.RenderBreakdown(w, b)
 	case 5:
-		b, err := experiment.Figure5(opt)
+		b, err := experiment.Figure5(ctx, opt)
 		if err != nil {
 			return err
 		}
 		experiment.RenderBreakdown(w, b)
 	case 6:
-		tc, err := experiment.Figure6(opt)
+		tc, err := experiment.Figure6(ctx, opt)
 		if err != nil {
 			return err
 		}
 		experiment.RenderThreadComparison(w, tc)
 	case 7:
-		tc, err := experiment.Figure7(opt)
+		tc, err := experiment.Figure7(ctx, opt)
 		if err != nil {
 			return err
 		}
 		experiment.RenderThreadComparison(w, tc)
 	case 8:
-		c, err := experiment.Figure8(opt)
+		c, err := experiment.Figure8(ctx, opt)
 		if err != nil {
 			return err
 		}
 		experiment.RenderCurves(w, "Figure 8: relative error trend for Q13", []experiment.Curve{c})
 	case 9:
-		s, err := experiment.Figure9(opt)
+		s, err := experiment.Figure9(ctx, opt)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintln(w, "Figure 9: EIP & CPI spread for Q13")
 		experiment.RenderSpread(w, s)
 	case 10:
-		c, err := experiment.Figure10(opt)
+		c, err := experiment.Figure10(ctx, opt)
 		if err != nil {
 			return err
 		}
 		experiment.RenderCurves(w, "Figure 10: relative error trend for Q18", []experiment.Curve{c})
 	case 11:
-		s, err := experiment.Figure11(opt)
+		s, err := experiment.Figure11(ctx, opt)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintln(w, "Figure 11: EIP & CPI spread for Q18")
 		experiment.RenderSpread(w, s)
 	case 12:
-		b, err := experiment.Figure12(opt)
+		b, err := experiment.Figure12(ctx, opt)
 		if err != nil {
 			return err
 		}
@@ -189,11 +211,17 @@ func Figure(id int, opt Options, w io.Writer) error {
 // ignored for Table 1 (it is a fixed worked example). progress, if
 // non-nil, receives each workload name as Table 2 completes it.
 func Table(id int, opt Options, w io.Writer, progress func(string)) error {
+	return TableCtx(context.Background(), id, opt, w, progress)
+}
+
+// TableCtx is Table with cooperative cancellation of the underlying
+// analyses.
+func TableCtx(ctx context.Context, id int, opt Options, w io.Writer, progress func(string)) error {
 	switch id {
 	case 1:
 		experiment.RenderTable1(w, experiment.Table1())
 	case 2:
-		rows, err := experiment.Table2(opt, func(name string, _ experiment.Table2Row) {
+		rows, err := experiment.Table2(ctx, opt, func(name string, _ experiment.Table2Row) {
 			if progress != nil {
 				progress(name)
 			}

@@ -30,16 +30,18 @@ type BBVComparison struct {
 
 // CompareBBV runs the deferred §3.3 comparison for each named workload,
 // fanned across Options.Parallelism workers. It bypasses the Analyze cache:
-// the collection differs from the main pipeline's (BBV accounting on).
-func CompareBBV(names []string, opt Options) ([]BBVComparison, error) {
+// the collection differs from the main pipeline's (BBV accounting on). ctx
+// cancels the fan-out, the per-workload simulations, and the fold searches.
+func CompareBBV(ctx context.Context, names []string, opt Options) ([]BBVComparison, error) {
 	opt = opt.withDefaults()
 	workers := Workers(opt.Parallelism)
 	treeOpt := rtree.Options{MaxLeaves: opt.MaxLeaves, MinLeaf: 2,
 		Parallelism: innerParallelism(workers, len(names))}
 	out := make([]BBVComparison, len(names))
-	err := forEach(workers, len(names), func(_ context.Context, i int) error {
+	err := forEach(ctx, workers, len(names), func(ctx context.Context, i int) error {
 		name := names[i]
 		col, err := profiler.CollectByName(name, profiler.CollectOptions{
+			Ctx:              ctx,
 			Machine:          opt.Machine,
 			Seed:             opt.Seed,
 			Intervals:        opt.Intervals,
@@ -54,7 +56,7 @@ func CompareBBV(names []string, opt Options) ([]BBVComparison, error) {
 		// Sampled EIPVs, as in the main pipeline.
 		set := buildEIPVs(col, opt)
 		eipvMtx := rtree.IndexDataset(Dataset(set))
-		eipvCV, err := eipvMtx.CrossValidate(treeOpt, opt.Folds, opt.Seed)
+		eipvCV, err := eipvMtx.CrossValidateCtx(ctx, treeOpt, opt.Folds, opt.Seed)
 		if err != nil {
 			return fmt.Errorf("bbv: %s eipv: %w", name, err)
 		}
@@ -68,7 +70,7 @@ func CompareBBV(names []string, opt Options) ([]BBVComparison, error) {
 			bbvData = append(bbvData, rtree.Point{Counts: v.Counts, Y: v.CPI})
 		}
 		bbvMtx := rtree.IndexDataset(bbvData)
-		bbvCV, err := bbvMtx.CrossValidate(treeOpt, opt.Folds, opt.Seed)
+		bbvCV, err := bbvMtx.CrossValidateCtx(ctx, treeOpt, opt.Folds, opt.Seed)
 		if err != nil {
 			return fmt.Errorf("bbv: %s bbv: %w", name, err)
 		}

@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
@@ -11,7 +12,7 @@ func TestCompareBBVOnQ13(t *testing.T) {
 	// predictive information relative to full basic-block profiling?
 	// On a strong-phase workload both must predict CPI well, with the
 	// full-information BBVs at least as good as the sampled EIPVs.
-	rows, err := CompareBBV([]string{"odb-h.q13"}, Options{Seed: 1, Intervals: 100, Warmup: 8})
+	rows, err := CompareBBV(context.Background(), []string{"odb-h.q13"}, Options{Seed: 1, Intervals: 100, Warmup: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,7 +39,7 @@ func TestCompareBBVUnpredictableStaysUnpredictable(t *testing.T) {
 	}
 	// §5's deeper claim: ODB-C's unpredictability is not a sampling
 	// artifact — even exact block counts cannot predict its CPI.
-	rows, err := CompareBBV([]string{"odb-c"}, Options{Seed: 1, Intervals: 120, Warmup: 10})
+	rows, err := CompareBBV(context.Background(), []string{"odb-c"}, Options{Seed: 1, Intervals: 120, Warmup: 10})
 	if err != nil {
 		t.Fatal(err)
 	}

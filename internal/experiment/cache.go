@@ -2,14 +2,33 @@
 // heavily — odb-c and sjas alone appear in Figures 2-7 and Table 2 — so a
 // process-wide cache keyed by (workload, canonicalized Options) lets every
 // configuration simulate exactly once. Concurrent callers of the same key
-// are deduplicated singleflight-style: one computes, the rest wait for its
-// result.
+// are deduplicated singleflight-style: one flight computes, the rest wait
+// for its result.
+//
+// The cache is context-aware and bounded:
+//
+//   - Every flight runs on its own context, detached from any single
+//     caller. A waiter whose context expires detaches without killing the
+//     shared flight; the flight itself is cancelled only when its last
+//     waiter has detached, so one impatient client can never abort work
+//     another client is still waiting on.
+//   - Cancelled and failed flights are never retained: the entry is
+//     removed (under the same lock that admits waiters, and before done is
+//     closed) so later callers retry with a fresh flight and stats stay
+//     truthful — a hit is only ever counted against a completed, retained
+//     result.
+//   - Completed results live on an LRU list bounded by a configurable
+//     entry cap (SetAnalysisCacheCap; 0, the default, keeps the CLI's
+//     unbounded behavior). Each entry carries an approximate heap cost so
+//     long-running services can watch retained bytes via CacheStats.
 //
 // Cached Results are shared between callers and must be treated as
 // immutable; every consumer in this repository only reads them.
 package experiment
 
 import (
+	"container/list"
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -45,69 +64,183 @@ func writeMachine(b *strings.Builder, m cpu.Config) {
 
 // CacheStats is a snapshot of the Analyze cache counters.
 type CacheStats struct {
-	// Hits counts Analyze calls answered from a completed entry.
+	// Hits counts Analyze calls answered from a completed, retained entry.
 	Hits uint64
-	// Misses counts calls that had to run the pipeline.
+	// Misses counts calls that had to start a fresh pipeline flight.
 	Misses uint64
 	// Shared counts calls that joined an in-flight computation of the
 	// same key instead of duplicating it (singleflight deduplication).
 	Shared uint64
-	// Entries is the number of completed results currently retained.
-	Entries int
+	// Evictions counts completed entries dropped by the LRU entry cap.
+	Evictions uint64
 	// Invalidations counts InvalidateAnalysisCache calls.
 	Invalidations uint64
+	// Entries is the number of completed results currently retained.
+	// In-flight computations are reported separately by InFlight.
+	Entries int
+	// InFlight is the number of pipeline computations currently running.
+	InFlight int
+	// CostBytes approximates the heap retained by completed entries
+	// (profile samples, EIPV maps, CSR arrays; see resultCost).
+	CostBytes int64
+	// CapEntries is the configured entry cap (0 = unbounded).
+	CapEntries int
 }
 
-// analyzeCall is one cache slot: done is closed when the computation
-// finishes, after which res/err are immutable.
+// analyzeCall is one cache slot: done is closed when the flight finishes,
+// after which res/err are immutable. waiters/aborted/elem are guarded by
+// the owning cache's mutex.
 type analyzeCall struct {
+	key  string
 	done chan struct{}
 	res  *Result
 	err  error
+	cost int64
+
+	// waiters counts callers currently blocked on done. When the last
+	// waiter detaches before completion, the flight's context is cancelled.
+	waiters int
+	// aborted marks a flight whose context was cancelled by waiter
+	// abandonment; new callers must not join it (it is doomed to return a
+	// cancellation error) and instead replace the slot with a fresh flight.
+	aborted bool
+	cancel  context.CancelFunc
+	// elem is the entry's LRU node while retained, nil otherwise.
+	elem *list.Element
 }
 
 type analyzeCache struct {
 	mu      sync.Mutex
 	entries map[string]*analyzeCall
+	lru     *list.List // completed entries; front = most recently used
+	cap     int        // max completed entries retained; 0 = unbounded
+	cost    int64      // summed resultCost of retained entries
 
-	hits, misses, shared, invalidations uint64
+	hits, misses, shared, evictions, invalidations uint64
 }
 
-var analysisCache = &analyzeCache{entries: map[string]*analyzeCall{}}
+func newAnalyzeCache() *analyzeCache {
+	return &analyzeCache{entries: map[string]*analyzeCall{}, lru: list.New()}
+}
+
+var analysisCache = newAnalyzeCache()
 
 // get returns the memoized result for key, computing it with fn on a miss.
-// Errors are returned to every waiter of the failing flight but never
-// cached: the next call retries.
-func (c *analyzeCache) get(key string, fn func() (*Result, error)) (*Result, error) {
+// fn runs on a flight-owned context that is cancelled only when every
+// waiter has detached; it is never the caller's ctx, so a flight outlives
+// any individual caller that still has company. Errors are returned to
+// every waiter of the failing flight but never cached: the next call
+// retries with a fresh flight.
+func (c *analyzeCache) get(ctx context.Context, key string, fn func(context.Context) (*Result, error)) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
 	c.mu.Lock()
 	if call, ok := c.entries[key]; ok {
 		select {
 		case <-call.done:
+			// done is only closed (under this lock) after failed flights
+			// have been removed from the map, so a completed entry found
+			// here is always a retained success — a true hit.
 			c.hits++
+			if call.elem != nil {
+				c.lru.MoveToFront(call.elem)
+			}
+			c.mu.Unlock()
+			return call.res, call.err
 		default:
-			c.shared++
+			if !call.aborted {
+				c.shared++
+				call.waiters++
+				c.mu.Unlock()
+				return c.wait(ctx, call)
+			}
+			// The slot holds a doomed flight (cancelled by waiter
+			// abandonment, not yet unwound). Fall through and replace it;
+			// its finish() no-ops on the map because the pointer differs.
 		}
-		c.mu.Unlock()
-		<-call.done
-		return call.res, call.err
 	}
-	call := &analyzeCall{done: make(chan struct{})}
+	flight, cancel := context.WithCancel(context.Background())
+	call := &analyzeCall{key: key, done: make(chan struct{}), waiters: 1, cancel: cancel}
 	c.entries[key] = call
 	c.misses++
 	c.mu.Unlock()
 
-	call.res, call.err = fn()
-	if call.err != nil {
+	go func() {
+		res, err := fn(flight)
+		c.finish(call, res, err)
+	}()
+	return c.wait(ctx, call)
+}
+
+// wait blocks until call completes or ctx expires. An expired waiter
+// detaches; the last waiter to detach aborts the flight.
+func (c *analyzeCache) wait(ctx context.Context, call *analyzeCall) (*Result, error) {
+	select {
+	case <-call.done:
+		return call.res, call.err
+	case <-ctx.Done():
 		c.mu.Lock()
-		// Drop the failed entry so future calls retry — unless an
-		// invalidation already replaced the map (or the slot) under us.
-		if c.entries[key] == call {
-			delete(c.entries, key)
+		select {
+		case <-call.done:
+			// Completed while we were cancelling: serve the result anyway.
+			c.mu.Unlock()
+			return call.res, call.err
+		default:
+		}
+		call.waiters--
+		if call.waiters == 0 {
+			call.aborted = true
+			call.cancel()
 		}
 		c.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
+// finish publishes a flight's outcome. Successful flights are retained on
+// the LRU (unless an invalidation or abort replaced the slot mid-flight);
+// failed flights are removed from the map *before* done is closed, under
+// the same lock that admits waiters, so no caller can ever count a hit
+// against a flight that was not retained.
+func (c *analyzeCache) finish(call *analyzeCall, res *Result, err error) {
+	call.res, call.err = res, err
+	c.mu.Lock()
+	if c.entries[call.key] == call {
+		if err == nil {
+			call.cost = resultCost(res)
+			call.elem = c.lru.PushFront(call)
+			c.cost += call.cost
+			c.evictLocked()
+		} else {
+			delete(c.entries, call.key)
+		}
 	}
 	close(call.done)
-	return call.res, call.err
+	c.mu.Unlock()
+	call.cancel() // release the flight context's resources
+}
+
+// evictLocked trims the LRU to the entry cap. Caller holds c.mu.
+func (c *analyzeCache) evictLocked() {
+	if c.cap <= 0 {
+		return
+	}
+	for c.lru.Len() > c.cap {
+		e := c.lru.Back()
+		victim := e.Value.(*analyzeCall)
+		c.lru.Remove(e)
+		victim.elem = nil
+		c.cost -= victim.cost
+		if c.entries[victim.key] == victim {
+			delete(c.entries, victim.key)
+		}
+		c.evictions++
+	}
 }
 
 func (c *analyzeCache) stats() CacheStats {
@@ -117,28 +250,82 @@ func (c *analyzeCache) stats() CacheStats {
 		Hits:          c.hits,
 		Misses:        c.misses,
 		Shared:        c.shared,
+		Evictions:     c.evictions,
 		Invalidations: c.invalidations,
+		Entries:       c.lru.Len(),
+		CostBytes:     c.cost,
+		CapEntries:    c.cap,
 	}
-	for _, call := range c.entries {
-		select {
-		case <-call.done:
-			s.Entries++
-		default:
-		}
-	}
+	// Every map entry is either retained (on the LRU) or in flight.
+	s.InFlight = len(c.entries) - c.lru.Len()
 	return s
+}
+
+func (c *analyzeCache) setCap(n int) int {
+	if n < 0 {
+		n = 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	prev := c.cap
+	c.cap = n
+	c.evictLocked()
+	return prev
 }
 
 func (c *analyzeCache) invalidate() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.entries = map[string]*analyzeCall{}
+	c.lru = list.New()
+	c.cost = 0
 	c.invalidations++
+}
+
+// resultCost approximates the heap bytes a retained Result keeps alive:
+// profiler samples, per-vector EIP histograms, and the shared CSR matrix
+// (the kmeans view aliases the rtree CSR, so it is not double-counted).
+// The per-element constants are rough struct/bucket sizes, not exact
+// accounting — the point is proportionality, so the CostBytes gauge tracks
+// real memory pressure across workloads of very different sizes.
+func resultCost(r *Result) int64 {
+	if r == nil {
+		return 0
+	}
+	const (
+		sampleBytes   = 72 // profiler.Sample: EIP, thread, kernel flag, counters
+		mapEntryBytes = 48 // one map[uint64]int entry's bucket share
+		vectorBytes   = 96 // eipv.Vector header (floats + map header)
+		csrEntryBytes = 16 // row CSR + column CSR, two int32 each
+	)
+	cost := int64(4096) // Result struct, slice headers, Space regions
+	if r.Profile != nil {
+		cost += int64(len(r.Profile.Samples)) * sampleBytes
+	}
+	if r.Set != nil {
+		for i := range r.Set.Vectors {
+			cost += vectorBytes + int64(len(r.Set.Vectors[i].Counts))*mapEntryBytes
+		}
+	}
+	if r.Matrix != nil {
+		_, rf, _ := r.Matrix.RowCSR()
+		cost += int64(r.Matrix.NumRows())*24 + int64(r.Matrix.NumFeatures())*12 +
+			int64(len(rf))*csrEntryBytes
+	}
+	return cost
 }
 
 // AnalysisCacheStats returns a snapshot of the process-wide Analyze cache
 // counters.
 func AnalysisCacheStats() CacheStats { return analysisCache.stats() }
+
+// SetAnalysisCacheCap bounds the process-wide Analyze cache to at most n
+// completed entries, evicting least-recently-used results immediately if
+// the cache is already over the bound, and returns the previous cap.
+// n <= 0 removes the bound (the default, preserving the CLI's
+// simulate-once-per-configuration behavior). In-flight computations are
+// never evicted.
+func SetAnalysisCacheCap(n int) int { return analysisCache.setCap(n) }
 
 // InvalidateAnalysisCache drops every memoized Analyze result (and resets
 // nothing else: the hit/miss counters keep accumulating). In-flight
@@ -148,6 +335,6 @@ func InvalidateAnalysisCache() { analysisCache.invalidate() }
 
 // String renders the stats as a one-line summary.
 func (s CacheStats) String() string {
-	return fmt.Sprintf("analyze cache: %d hits, %d misses, %d shared flights, %d live entries",
-		s.Hits, s.Misses, s.Shared, s.Entries)
+	return fmt.Sprintf("analyze cache: %d hits, %d misses, %d shared flights, %d evictions, %d live entries (%d in flight, ~%.1f MiB)",
+		s.Hits, s.Misses, s.Shared, s.Evictions, s.Entries, s.InFlight, float64(s.CostBytes)/(1<<20))
 }

@@ -1,0 +1,80 @@
+package experiment
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestAnalyzeCtxPreCancelled: a dead context returns before any simulation
+// starts.
+func TestAnalyzeCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	_, err := AnalyzeCtx(ctx, "spec.gzip", Options{Intervals: 320, Seed: 99})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("pre-cancelled AnalyzeCtx took %s; it must not simulate", elapsed)
+	}
+}
+
+// TestAnalyzeCtxCancellationDoesNotPoison cancels an in-flight analysis and
+// then re-runs the identical configuration: the cancellation must surface
+// as context.Canceled (not a cached error, not a hang) and the retry must
+// succeed from a fresh flight — a cancelled run never poisons the cache.
+func TestAnalyzeCtxCancellationDoesNotPoison(t *testing.T) {
+	// A long configuration so cancellation lands mid-simulation. Seed 97 keeps
+	// the cache key disjoint from every other test.
+	opt := Options{Intervals: 640, Seed: 97}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := AnalyzeCtx(ctx, "odb-h.q13", opt)
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+
+	select {
+	case err := <-errc:
+		// The run may legitimately have finished before the cancel landed on
+		// a fast machine; anything else must be the cancellation.
+		if err != nil && !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled or nil", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancelled AnalyzeCtx did not return")
+	}
+
+	// Retry with no deadline: must succeed regardless of what the cancelled
+	// attempt left behind.
+	res, err := AnalyzeCtx(context.Background(), "odb-h.q13", opt)
+	if err != nil {
+		t.Fatalf("retry after cancellation failed: %v", err)
+	}
+	if res == nil || len(res.Set.Vectors) == 0 {
+		t.Fatal("retry returned an empty result")
+	}
+}
+
+// TestAnalyzeBackwardCompatible: the ctx-less entry point still works and
+// matches AnalyzeCtx with a background context (same cache entry).
+func TestAnalyzeBackwardCompatible(t *testing.T) {
+	opt := fast()
+	a, err := Analyze("spec.gzip", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := AnalyzeCtx(context.Background(), "spec.gzip", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("Analyze and AnalyzeCtx did not share the memoized result")
+	}
+}

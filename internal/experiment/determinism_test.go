@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"testing"
 
@@ -17,13 +18,13 @@ func renderClusteringSections(t *testing.T, parallelism int) string {
 	names := []string{"spec.gzip", "spec.mcf"}
 	var buf bytes.Buffer
 
-	rows46, err := Section46(names, opt)
+	rows46, err := Section46(context.Background(), names, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
 	RenderTreeVsKMeans(&buf, rows46)
 
-	rows7, err := Section7Sampling(names, 6, opt)
+	rows7, err := Section7Sampling(context.Background(), names, 6, opt)
 	if err != nil {
 		t.Fatal(err)
 	}

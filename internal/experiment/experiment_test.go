@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -110,11 +111,11 @@ func TestFigure8And10Contrast(t *testing.T) {
 	// The central DSS contrast at reduced scale: Q13's curve drops low,
 	// Q18's stays high.
 	opt := Options{Intervals: 120, Warmup: 8, Seed: 1}
-	f8, err := Figure8(opt)
+	f8, err := Figure8(context.Background(), opt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	f10, err := Figure10(opt)
+	f10, err := Figure10(context.Background(), opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,11 +133,11 @@ func TestFigure8And10Contrast(t *testing.T) {
 func TestSpreadContrast(t *testing.T) {
 	// Figure 3 vs Figure 9: server EIP populations dwarf DSS query ones.
 	opt := Options{Intervals: 40, Warmup: 4, Seed: 1}
-	f3, err := Figure3(opt)
+	f3, err := Figure3(context.Background(), opt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	f9, err := Figure9(opt)
+	f9, err := Figure9(context.Background(), opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,14 +150,14 @@ func TestSpreadContrast(t *testing.T) {
 
 func TestBreakdownShares(t *testing.T) {
 	opt := Options{Intervals: 50, Warmup: 5, Seed: 1}
-	f4, err := Figure4(opt)
+	f4, err := Figure4(context.Background(), opt)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if f4.EXEShare < 0.4 {
 		t.Fatalf("ODB-C EXE share %.2f, want dominant (paper >50%%)", f4.EXEShare)
 	}
-	f5, err := Figure5(opt)
+	f5, err := Figure5(context.Background(), opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -264,7 +265,7 @@ func TestPaperHeadlines(t *testing.T) {
 	}
 
 	// §5.2: thread separation helps only minimally (Figures 6/7).
-	f6, err := Figure6(opt)
+	f6, err := Figure6(context.Background(), opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -285,7 +286,7 @@ func TestTable2MatchesPaper(t *testing.T) {
 	if testing.Short() {
 		t.Skip("classifies all 50 workloads (~30s)")
 	}
-	rows, err := Table2(Options{Seed: 1, Intervals: 140, Warmup: 10}, nil)
+	rows, err := Table2(context.Background(), Options{Seed: 1, Intervals: 140, Warmup: 10}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

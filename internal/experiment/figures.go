@@ -31,14 +31,15 @@ func curveOf(res *Result, name string) Curve {
 
 // analyzeMany fans Analyze out across names on the options' worker budget
 // and returns the results in input order. The per-call rtree parallelism is
-// scaled down so the fan-out as a whole stays within the budget.
-func analyzeMany(names []string, opt Options) ([]*Result, error) {
+// scaled down so the fan-out as a whole stays within the budget. ctx
+// cancels the fan-out and propagates into each AnalyzeCtx call.
+func analyzeMany(ctx context.Context, names []string, opt Options) ([]*Result, error) {
 	workers := Workers(opt.Parallelism)
 	inner := opt
 	inner.Parallelism = innerParallelism(workers, len(names))
 	out := make([]*Result, len(names))
-	err := forEach(workers, len(names), func(_ context.Context, i int) error {
-		res, err := Analyze(names[i], inner)
+	err := forEach(ctx, workers, len(names), func(ctx context.Context, i int) error {
+		res, err := AnalyzeCtx(ctx, names[i], inner)
 		if err != nil {
 			return err
 		}
@@ -53,9 +54,9 @@ func analyzeMany(names []string, opt Options) ([]*Result, error) {
 
 // Figure2 reproduces "Relative Error Trend for ODB-C & SjAS": ODB-C's
 // curve rises above one with k while SjAS stays flat just under one.
-func Figure2(opt Options) ([]Curve, error) {
+func Figure2(ctx context.Context, opt Options) ([]Curve, error) {
 	names := []string{"odb-c", "sjas"}
-	results, err := analyzeMany(names, opt)
+	results, err := analyzeMany(ctx, names, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -92,8 +93,8 @@ func spreadOf(res *Result) SpreadData {
 
 // Figure3 reproduces the EIP & CPI spread of ODB-C and SjAS: tens of
 // thousands of uniformly exercised EIPs over a small-variance CPI band.
-func Figure3(opt Options) ([]SpreadData, error) {
-	results, err := analyzeMany([]string{"odb-c", "sjas"}, opt)
+func Figure3(ctx context.Context, opt Options) ([]SpreadData, error) {
+	results, err := analyzeMany(ctx, []string{"odb-c", "sjas"}, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -131,8 +132,8 @@ func breakdownOf(res *Result) BreakdownSeries {
 }
 
 // Figure4 reproduces the ODB-C CPI breakdown (EXE/L3 stalls dominant).
-func Figure4(opt Options) (BreakdownSeries, error) {
-	res, err := Analyze("odb-c", opt)
+func Figure4(ctx context.Context, opt Options) (BreakdownSeries, error) {
+	res, err := AnalyzeCtx(ctx, "odb-c", opt)
 	if err != nil {
 		return BreakdownSeries{}, err
 	}
@@ -140,8 +141,8 @@ func Figure4(opt Options) (BreakdownSeries, error) {
 }
 
 // Figure5 reproduces the SjAS CPI breakdown (EXE 30-40%).
-func Figure5(opt Options) (BreakdownSeries, error) {
-	res, err := Analyze("sjas", opt)
+func Figure5(ctx context.Context, opt Options) (BreakdownSeries, error) {
+	res, err := AnalyzeCtx(ctx, "sjas", opt)
 	if err != nil {
 		return BreakdownSeries{}, err
 	}
@@ -156,14 +157,14 @@ type ThreadComparison struct {
 	Thread   Curve
 }
 
-func threadComparison(name string, opt Options) (ThreadComparison, error) {
-	noThread, err := Analyze(name, opt)
+func threadComparison(ctx context.Context, name string, opt Options) (ThreadComparison, error) {
+	noThread, err := AnalyzeCtx(ctx, name, opt)
 	if err != nil {
 		return ThreadComparison{}, err
 	}
 	sep := opt
 	sep.ThreadSeparated = true
-	thread, err := Analyze(name, sep)
+	thread, err := AnalyzeCtx(ctx, name, sep)
 	if err != nil {
 		return ThreadComparison{}, err
 	}
@@ -175,15 +176,19 @@ func threadComparison(name string, opt Options) (ThreadComparison, error) {
 }
 
 // Figure6 reproduces ODB-C relative error with & without threads.
-func Figure6(opt Options) (ThreadComparison, error) { return threadComparison("odb-c", opt) }
+func Figure6(ctx context.Context, opt Options) (ThreadComparison, error) {
+	return threadComparison(ctx, "odb-c", opt)
+}
 
 // Figure7 reproduces SjAS relative error with & without threads.
-func Figure7(opt Options) (ThreadComparison, error) { return threadComparison("sjas", opt) }
+func Figure7(ctx context.Context, opt Options) (ThreadComparison, error) {
+	return threadComparison(ctx, "sjas", opt)
+}
 
 // Figure8 reproduces the Q13 relative error trend (drops fast to a low
 // asymptote at small k).
-func Figure8(opt Options) (Curve, error) {
-	res, err := Analyze("odb-h.q13", opt)
+func Figure8(ctx context.Context, opt Options) (Curve, error) {
+	res, err := AnalyzeCtx(ctx, "odb-h.q13", opt)
 	if err != nil {
 		return Curve{}, err
 	}
@@ -191,8 +196,8 @@ func Figure8(opt Options) (Curve, error) {
 }
 
 // Figure9 reproduces the Q13 EIP & CPI spread (loopy, strongly correlated).
-func Figure9(opt Options) (SpreadData, error) {
-	res, err := Analyze("odb-h.q13", opt)
+func Figure9(ctx context.Context, opt Options) (SpreadData, error) {
+	res, err := AnalyzeCtx(ctx, "odb-h.q13", opt)
 	if err != nil {
 		return SpreadData{}, err
 	}
@@ -200,8 +205,8 @@ func Figure9(opt Options) (SpreadData, error) {
 }
 
 // Figure10 reproduces the Q18 relative error trend (flat above one).
-func Figure10(opt Options) (Curve, error) {
-	res, err := Analyze("odb-h.q18", opt)
+func Figure10(ctx context.Context, opt Options) (Curve, error) {
+	res, err := AnalyzeCtx(ctx, "odb-h.q18", opt)
 	if err != nil {
 		return Curve{}, err
 	}
@@ -209,8 +214,8 @@ func Figure10(opt Options) (Curve, error) {
 }
 
 // Figure11 reproduces the Q18 EIP & CPI spread (same EIPs, erratic CPI).
-func Figure11(opt Options) (SpreadData, error) {
-	res, err := Analyze("odb-h.q18", opt)
+func Figure11(ctx context.Context, opt Options) (SpreadData, error) {
+	res, err := AnalyzeCtx(ctx, "odb-h.q18", opt)
 	if err != nil {
 		return SpreadData{}, err
 	}
@@ -219,8 +224,8 @@ func Figure11(opt Options) (SpreadData, error) {
 
 // Figure12 reproduces the Q18 CPI breakdown (no single dominant,
 // time-shifting bottleneck).
-func Figure12(opt Options) (BreakdownSeries, error) {
-	res, err := Analyze("odb-h.q18", opt)
+func Figure12(ctx context.Context, opt Options) (BreakdownSeries, error) {
+	res, err := AnalyzeCtx(ctx, "odb-h.q18", opt)
 	if err != nil {
 		return BreakdownSeries{}, err
 	}
@@ -314,12 +319,13 @@ func Table2Workloads() []Table2Row {
 }
 
 // Table2 classifies every workload in the suite, fanning the per-workload
-// analyses across Options.Parallelism workers. progress, if non-nil, is
-// called after each workload (CLI feedback; a cold full-suite analysis
-// takes minutes). Even under parallel execution, progress fires in table
-// order, one call at a time — completion of row i is reported only after
-// rows 0..i-1 have been reported.
-func Table2(opt Options, progress func(name string, row Table2Row)) ([]Table2Row, error) {
+// analyses across Options.Parallelism workers; ctx cancels the fan-out and
+// the in-flight analyses. progress, if non-nil, is called after each
+// workload (CLI feedback; a cold full-suite analysis takes minutes). Even
+// under parallel execution, progress fires in table order, one call at a
+// time — completion of row i is reported only after rows 0..i-1 have been
+// reported.
+func Table2(ctx context.Context, opt Options, progress func(name string, row Table2Row)) ([]Table2Row, error) {
 	rows := Table2Workloads()
 	workers := Workers(opt.Parallelism)
 	inner := opt
@@ -331,9 +337,9 @@ func Table2(opt Options, progress func(name string, row Table2Row)) ([]Table2Row
 			progress(rows[i].Name, rows[i])
 		})
 	}
-	err := forEach(workers, len(rows), func(_ context.Context, i int) error {
+	err := forEach(ctx, workers, len(rows), func(ctx context.Context, i int) error {
 		start := time.Now()
-		res, err := Analyze(rows[i].Name, inner)
+		res, err := AnalyzeCtx(ctx, rows[i].Name, inner)
 		if err != nil {
 			return fmt.Errorf("table2: %s: %w", rows[i].Name, err)
 		}
@@ -386,14 +392,14 @@ type TreeVsKMeans struct {
 // Section46 compares regression trees against K-means clustering on the
 // given workloads (the paper reports an average ~80% improvement in CPI
 // predictability across its suite).
-func Section46(names []string, opt Options) ([]TreeVsKMeans, error) {
+func Section46(ctx context.Context, names []string, opt Options) ([]TreeVsKMeans, error) {
 	workers := Workers(opt.Parallelism)
 	inner := opt
 	inner.Parallelism = innerParallelism(workers, len(names))
 	out := make([]TreeVsKMeans, len(names))
-	err := forEach(workers, len(names), func(_ context.Context, i int) error {
+	err := forEach(ctx, workers, len(names), func(ctx context.Context, i int) error {
 		name := names[i]
-		res, err := Analyze(name, inner)
+		res, err := AnalyzeCtx(ctx, name, inner)
 		if err != nil {
 			return err
 		}
@@ -432,14 +438,14 @@ type SamplingRow struct {
 
 // Section7Sampling evaluates every sampling technique on every named
 // workload with the given interval budget.
-func Section7Sampling(names []string, budget int, opt Options) ([]SamplingRow, error) {
+func Section7Sampling(ctx context.Context, names []string, budget int, opt Options) ([]SamplingRow, error) {
 	workers := Workers(opt.Parallelism)
 	inner := opt
 	inner.Parallelism = innerParallelism(workers, len(names))
 	out := make([]SamplingRow, len(names))
-	err := forEach(workers, len(names), func(_ context.Context, i int) error {
+	err := forEach(ctx, workers, len(names), func(ctx context.Context, i int) error {
 		name := names[i]
-		res, err := Analyze(name, inner)
+		res, err := AnalyzeCtx(ctx, name, inner)
 		if err != nil {
 			return err
 		}
@@ -478,7 +484,7 @@ type SweepRow struct {
 // Section71Intervals sweeps the EIPV interval length (the paper's
 // 100M/50M/10M instructions): shrinking intervals raises both CPI variance
 // and relative error.
-func Section71Intervals(names []string, opt Options) ([]SweepRow, error) {
+func Section71Intervals(ctx context.Context, names []string, opt Options) ([]SweepRow, error) {
 	sizes := []struct {
 		label string
 		insts uint64
@@ -492,13 +498,13 @@ func Section71Intervals(names []string, opt Options) ([]SweepRow, error) {
 	inner := opt
 	inner.Parallelism = innerParallelism(workers, n)
 	out := make([]SweepRow, n)
-	err := forEach(workers, n, func(_ context.Context, i int) error {
+	err := forEach(ctx, workers, n, func(ctx context.Context, i int) error {
 		name := names[i/len(sizes)]
 		sz := sizes[i%len(sizes)]
 		o := inner
 		o.IntervalInsts = sz.insts
 		// Keep the same simulated length; more, shorter vectors.
-		res, err := Analyze(name, o)
+		res, err := AnalyzeCtx(ctx, name, o)
 		if err != nil {
 			return err
 		}
@@ -520,19 +526,19 @@ func Section71Intervals(names []string, opt Options) ([]SweepRow, error) {
 // Section71Machines sweeps the machine model (Itanium 2 vs Pentium 4 vs
 // Xeon): the paper reports higher CPI variance on the P4-class machines
 // but broadly unchanged quadrant structure.
-func Section71Machines(names []string, opt Options) ([]SweepRow, error) {
+func Section71Machines(ctx context.Context, names []string, opt Options) ([]SweepRow, error) {
 	machines := []cpu.Config{cpu.Itanium2(), cpu.PentiumIV(), cpu.Xeon()}
 	n := len(names) * len(machines)
 	workers := Workers(opt.Parallelism)
 	inner := opt
 	inner.Parallelism = innerParallelism(workers, n)
 	out := make([]SweepRow, n)
-	err := forEach(workers, n, func(_ context.Context, i int) error {
+	err := forEach(ctx, workers, n, func(ctx context.Context, i int) error {
 		name := names[i/len(machines)]
 		m := machines[i%len(machines)]
 		o := inner
 		o.Machine = m
-		res, err := Analyze(name, o)
+		res, err := AnalyzeCtx(ctx, name, o)
 		if err != nil {
 			return err
 		}

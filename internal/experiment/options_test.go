@@ -1,0 +1,47 @@
+package experiment
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestWithDefaultsWarmup pins the documented Warmup semantics: zero takes
+// the default, negative explicitly requests no warmup discard.
+func TestWithDefaultsWarmup(t *testing.T) {
+	cases := []struct {
+		in   int
+		want int
+	}{
+		{0, DefaultWarmup}, // zero value -> paper default
+		{-1, 0},            // "negative means none"
+		{-100, 0},
+		{3, 3}, // explicit positive passes through
+	}
+	for _, tc := range cases {
+		got := Options{Warmup: tc.in}.withDefaults().Warmup
+		if got != tc.want {
+			t.Errorf("withDefaults(Warmup=%d).Warmup = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestWorkersResolution pins Workers: zero and negative mean one worker
+// per CPU (the flag's "auto"), positive is taken literally.
+func TestWorkersResolution(t *testing.T) {
+	ncpu := runtime.NumCPU()
+	cases := []struct {
+		in   int
+		want int
+	}{
+		{0, ncpu},
+		{-1, ncpu},
+		{-3, ncpu},
+		{1, 1},
+		{5, 5},
+	}
+	for _, tc := range cases {
+		if got := Workers(tc.in); got != tc.want {
+			t.Errorf("Workers(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}

@@ -18,7 +18,7 @@ func renderPipelines(t *testing.T, parallelism int) (string, []string) {
 	var buf bytes.Buffer
 	var progressed []string
 
-	rows, err := Table2(opt, func(name string, _ Table2Row) {
+	rows, err := Table2(context.Background(), opt, func(name string, _ Table2Row) {
 		progressed = append(progressed, name)
 	})
 	if err != nil {
@@ -26,13 +26,13 @@ func renderPipelines(t *testing.T, parallelism int) (string, []string) {
 	}
 	RenderTable2(&buf, rows)
 
-	curves, err := Figure2(opt)
+	curves, err := Figure2(context.Background(), opt)
 	if err != nil {
 		t.Fatal(err)
 	}
 	RenderCurves(&buf, "Figure 2", curves)
 
-	sweep, err := Section71Intervals([]string{"spec.mcf"}, opt)
+	sweep, err := Section71Intervals(context.Background(), []string{"spec.mcf"}, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +168,7 @@ func TestForEachFirstError(t *testing.T) {
 	for _, workers := range []int{1, 4} {
 		var mu sync.Mutex
 		ran := map[int]bool{}
-		err := forEach(workers, 100, func(_ context.Context, i int) error {
+		err := forEach(context.Background(), workers, 100, func(_ context.Context, i int) error {
 			mu.Lock()
 			ran[i] = true
 			mu.Unlock()
@@ -188,7 +188,7 @@ func TestForEachFirstError(t *testing.T) {
 		}
 		mu.Unlock()
 	}
-	if err := forEach(4, 0, func(_ context.Context, i int) error { return errors.New("no") }); err != nil {
+	if err := forEach(context.Background(), 4, 0, func(_ context.Context, i int) error { return errors.New("no") }); err != nil {
 		t.Fatalf("empty forEach returned %v", err)
 	}
 }
@@ -197,7 +197,7 @@ func TestForEachFirstError(t *testing.T) {
 // even under parallel execution (Intervals too small for 10 folds).
 func TestTable2ErrorPropagation(t *testing.T) {
 	InvalidateAnalysisCache()
-	_, err := Table2(Options{Seed: 1, Intervals: 12, Warmup: 2, Parallelism: 8}, nil)
+	_, err := Table2(context.Background(), Options{Seed: 1, Intervals: 12, Warmup: 2, Parallelism: 8}, nil)
 	if err == nil {
 		t.Fatal("Table2 with too few intervals did not error")
 	}

@@ -6,6 +6,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/addr"
@@ -170,15 +171,28 @@ func buildEIPVs(col *profiler.CollectResult, opt Options) *eipv.Set {
 // treat the returned Result as immutable. See AnalysisCacheStats and
 // InvalidateAnalysisCache.
 func Analyze(name string, opt Options) (*Result, error) {
+	return AnalyzeCtx(context.Background(), name, opt)
+}
+
+// AnalyzeCtx is Analyze with cooperative cancellation: when ctx expires the
+// call detaches and returns ctx.Err(). The underlying pipeline runs on a
+// flight-owned context shared by every caller of the same key — simulation
+// and cross-validation are actually stopped only when the last interested
+// caller has gone, and a cancelled flight is never retained, so an aborted
+// request cannot poison the cache for later callers.
+func AnalyzeCtx(ctx context.Context, name string, opt Options) (*Result, error) {
 	opt = opt.withDefaults()
-	return analysisCache.get(cacheKey(name, opt), func() (*Result, error) {
-		return analyzeUncached(name, opt)
+	return analysisCache.get(ctx, cacheKey(name, opt), func(flight context.Context) (*Result, error) {
+		return analyzeUncached(flight, name, opt)
 	})
 }
 
-// analyzeUncached is the real pipeline; opt already carries defaults.
-func analyzeUncached(name string, opt Options) (*Result, error) {
+// analyzeUncached is the real pipeline; opt already carries defaults. ctx
+// cancels the simulation (polled per scheduler time slice) and the
+// cross-validation (polled per fold).
+func analyzeUncached(ctx context.Context, name string, opt Options) (*Result, error) {
 	col, err := profiler.CollectByName(name, profiler.CollectOptions{
+		Ctx:            ctx,
 		Machine:        opt.Machine,
 		Seed:           opt.Seed,
 		Intervals:      opt.Intervals,
@@ -195,7 +209,7 @@ func analyzeUncached(name string, opt Options) (*Result, error) {
 
 	mtx := rtree.IndexDataset(Dataset(set))
 	treeOpt := rtree.Options{MaxLeaves: opt.MaxLeaves, MinLeaf: 2, Parallelism: Workers(opt.Parallelism)}
-	cv, err := mtx.CrossValidate(treeOpt, opt.Folds, opt.Seed)
+	cv, err := mtx.CrossValidateCtx(ctx, treeOpt, opt.Folds, opt.Seed)
 	if err != nil {
 		return nil, fmt.Errorf("experiment: %s: %w", name, err)
 	}

@@ -36,26 +36,36 @@ func innerParallelism(workers, n int) int {
 // loop over the same work would have returned, because every index below a
 // failing one has already been claimed and runs to completion.
 //
+// parent (nil means context.Background()) bounds the whole pool: when it is
+// cancelled, unclaimed indices are skipped, in-flight fn calls observe the
+// cancellation through their ctx argument, and forEach returns the parent's
+// error unless an fn error with a lower index claims precedence.
+//
 // Result ordering is the caller's: fn writes into its own slot of a
 // pre-sized slice, so output order never depends on completion order.
-func forEach(workers, n int, fn func(ctx context.Context, i int) error) error {
+func forEach(parent context.Context, workers, n int, fn func(ctx context.Context, i int) error) error {
+	if parent == nil {
+		parent = context.Background()
+	}
 	if n == 0 {
-		return nil
+		return parent.Err()
 	}
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
-		ctx := context.Background()
 		for i := 0; i < n; i++ {
-			if err := fn(ctx, i); err != nil {
+			if err := parent.Err(); err != nil {
+				return err
+			}
+			if err := fn(parent, i); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
 
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := context.WithCancel(parent)
 	defer cancel()
 
 	errs := make([]error, n)
@@ -89,7 +99,7 @@ func forEach(workers, n int, fn func(ctx context.Context, i int) error) error {
 			return err
 		}
 	}
-	return nil
+	return parent.Err()
 }
 
 // progressGate serializes completion callbacks so they fire in index order

@@ -119,6 +119,12 @@ func RenderTable2(w io.Writer, rows []Table2Row) {
 		fmt.Fprintf(w, "%-14s %-7s %10.4f %8.3f %4d %-6s %-6s%s\n",
 			r.Name, r.Group, r.CPIVar, r.REOpt, r.KOpt, r.Quadrant, target, mark)
 	}
+	RenderQuadrantCensus(w, rows)
+}
+
+// RenderQuadrantCensus writes the per-group quadrant tallies — the census
+// lines that close out Table 2.
+func RenderQuadrantCensus(w io.Writer, rows []Table2Row) {
 	census := QuadrantCensus(rows)
 	for _, g := range []string{"server", "odb-h", "spec"} {
 		if c, ok := census[g]; ok {

@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -9,7 +10,7 @@ import (
 )
 
 func TestSection46Shape(t *testing.T) {
-	rows, err := Section46([]string{"spec.gzip", "spec.mcf"}, fast())
+	rows, err := Section46(context.Background(), []string{"spec.gzip", "spec.mcf"}, fast())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +43,7 @@ func TestSection46Shape(t *testing.T) {
 }
 
 func TestSection7SamplingShape(t *testing.T) {
-	rows, err := Section7Sampling([]string{"spec.gzip", "spec.mcf"}, 6, fast())
+	rows, err := Section7Sampling(context.Background(), []string{"spec.gzip", "spec.mcf"}, 6, fast())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +74,7 @@ func TestSection7SamplingShape(t *testing.T) {
 }
 
 func TestSection71IntervalsShape(t *testing.T) {
-	rows, err := Section71Intervals([]string{"spec.mcf"}, fast())
+	rows, err := Section71Intervals(context.Background(), []string{"spec.mcf"}, fast())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +92,7 @@ func TestSection71IntervalsShape(t *testing.T) {
 }
 
 func TestSection71MachinesShape(t *testing.T) {
-	rows, err := Section71Machines([]string{"spec.mcf"}, fast())
+	rows, err := Section71Machines(context.Background(), []string{"spec.mcf"}, fast())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +115,7 @@ func TestSection71MachinesShape(t *testing.T) {
 func TestQuadrantRecommendationConsistency(t *testing.T) {
 	// Whatever quadrant a workload lands in, the recommendation table
 	// must agree with the quadrant package.
-	rows, err := Section7Sampling([]string{"spec.twolf"}, 4, fast())
+	rows, err := Section7Sampling(context.Background(), []string{"spec.twolf"}, 4, fast())
 	if err != nil {
 		t.Fatal(err)
 	}

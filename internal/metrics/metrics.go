@@ -1,0 +1,176 @@
+// Package metrics is a minimal process-metrics registry for the serve
+// mode: atomic counters and callback gauges rendered in the Prometheus
+// text exposition format (version 0.0.4), with no dependency outside the
+// standard library.
+//
+// Metrics are registered once at server construction and rendered on every
+// /metrics scrape. Registration order is preserved in the output so
+// scrapes are byte-stable for a fixed set of values — the serve smoke test
+// relies on that.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// metricKind discriminates the Prometheus TYPE line.
+type metricKind string
+
+const (
+	kindCounter metricKind = "counter"
+	kindGauge   metricKind = "gauge"
+)
+
+// metric is one registered time series family.
+type metric struct {
+	name string
+	help string
+	kind metricKind
+	// series returns the current (labels, value) pairs. Label strings are
+	// pre-rendered ("{endpoint=\"analyze\"}" or "").
+	series func() []sample
+}
+
+type sample struct {
+	labels string
+	value  float64
+}
+
+// Registry holds registered metrics and renders them.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []*metric
+	byName  map[string]*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]*metric{}}
+}
+
+// Counter registers (or returns the existing) unlabelled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(name, help, kindCounter, func() []sample {
+		return []sample{{value: float64(c.Value())}}
+	})
+	return c
+}
+
+// LabeledCounter registers a counter family keyed by one label and returns
+// a function yielding the counter for a label value (creating it on first
+// use). Series render sorted by label value so scrapes are stable.
+func (r *Registry) LabeledCounter(name, help, label string) func(value string) *Counter {
+	var mu sync.Mutex
+	counters := map[string]*Counter{}
+	r.register(name, help, kindCounter, func() []sample {
+		mu.Lock()
+		defer mu.Unlock()
+		keys := make([]string, 0, len(counters))
+		for k := range counters {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		out := make([]sample, 0, len(keys))
+		for _, k := range keys {
+			out = append(out, sample{
+				labels: fmt.Sprintf("{%s=%q}", label, k),
+				value:  float64(counters[k].Value()),
+			})
+		}
+		return out
+	})
+	return func(value string) *Counter {
+		mu.Lock()
+		defer mu.Unlock()
+		c, ok := counters[value]
+		if !ok {
+			c = &Counter{}
+			counters[value] = c
+		}
+		return c
+	}
+}
+
+// Gauge registers a callback gauge: f is evaluated at scrape time.
+func (r *Registry) Gauge(name, help string, f func() float64) {
+	r.register(name, help, kindGauge, func() []sample {
+		return []sample{{value: f()}}
+	})
+}
+
+// CounterFunc registers a callback counter: f is evaluated at scrape time
+// (for monotonic values owned elsewhere, like cache hit totals).
+func (r *Registry) CounterFunc(name, help string, f func() float64) {
+	r.register(name, help, kindCounter, func() []sample {
+		return []sample{{value: f()}}
+	})
+}
+
+func (r *Registry) register(name, help string, kind metricKind, series func() []sample) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[name]; dup {
+		panic(fmt.Sprintf("metrics: duplicate registration of %q", name))
+	}
+	m := &metric{name: name, help: help, kind: kind, series: series}
+	r.metrics = append(r.metrics, m)
+	r.byName[name] = m
+}
+
+// WriteText renders every metric in the Prometheus text exposition format,
+// in registration order.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	metrics := make([]*metric, len(r.metrics))
+	copy(metrics, r.metrics)
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, m := range metrics {
+		fmt.Fprintf(&b, "# HELP %s %s\n", m.name, m.help)
+		fmt.Fprintf(&b, "# TYPE %s %s\n", m.name, m.kind)
+		for _, s := range m.series() {
+			fmt.Fprintf(&b, "%s%s %s\n", m.name, s.labels, formatValue(s.value))
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// formatValue renders a float the way Prometheus clients do: integers
+// without an exponent or trailing zeros, everything else via %g.
+func formatValue(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// Handler serves the registry as text/plain; version=0.0.4.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WriteText(w)
+	})
+}

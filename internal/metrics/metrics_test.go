@@ -1,0 +1,65 @@
+package metrics
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestRegistryText(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "a test counter")
+	c.Add(3)
+	r.Gauge("test_gauge", "a test gauge", func() float64 { return 2.5 })
+	byEP := r.LabeledCounter("req_total", "requests", "endpoint")
+	byEP("b").Inc()
+	byEP("a").Add(2)
+	byEP("b").Inc()
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	want := `# HELP test_total a test counter
+# TYPE test_total counter
+test_total 3
+# HELP test_gauge a test gauge
+# TYPE test_gauge gauge
+test_gauge 2.5
+# HELP req_total requests
+# TYPE req_total counter
+req_total{endpoint="a"} 2
+req_total{endpoint="b"} 2
+`
+	if got != want {
+		t.Fatalf("render mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "x").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "x_total 1") {
+		t.Fatalf("body missing counter:\n%s", rec.Body.String())
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("dup", "first")
+	r.Counter("dup", "second")
+}

@@ -132,6 +132,10 @@ type Sched struct {
 
 	stats Stats
 	idle  uint64 // accumulated idle cycles (kept out of core counters)
+
+	// stop, if non-nil, is polled once per scheduling decision; returning
+	// true ends Run early (cooperative cancellation).
+	stop func() bool
 }
 
 // New builds a scheduler over core. Kernel code regions are allocated from
@@ -159,6 +163,13 @@ func (s *Sched) Add(name string, r Runner) int {
 // Stats returns the accumulated scheduler statistics.
 func (s *Sched) Stats() Stats { return s.stats }
 
+// SetStop installs a cancellation poll: Run checks stop once per
+// scheduling decision (every time slice, not every retirement, so the
+// simulation hot path stays untouched) and returns early when it reports
+// true. A nil stop disables the check. The partial Stats Run returns after
+// an early stop are valid but cover only the simulated prefix.
+func (s *Sched) SetStop(stop func() bool) { s.stop = stop }
+
 // ThreadInsts returns per-thread retired instruction counts, indexed by id.
 func (s *Sched) ThreadInsts() []uint64 {
 	out := make([]uint64, len(s.threads))
@@ -180,6 +191,9 @@ func (s *Sched) Run(maxInsts uint64, observe func(ev *cpu.BlockEvent)) Stats {
 
 	cur := s.pickReady()
 	for budget() {
+		if s.stop != nil && s.stop() {
+			break
+		}
 		if cur == nil {
 			// Nothing runnable: advance time to the earliest wakeup.
 			wake, ok := s.earliestWake()

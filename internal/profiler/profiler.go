@@ -10,6 +10,7 @@
 package profiler
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/addr"
@@ -114,6 +115,12 @@ func (s *Sampler) Profile() *Profile { return s.prof }
 
 // CollectOptions parameterize a collection run.
 type CollectOptions struct {
+	// Ctx, if non-nil, cancels the simulation: the scheduler polls it once
+	// per time slice and Collect returns Ctx.Err() instead of a partial
+	// profile. A nil Ctx (the default) never cancels, so batch callers are
+	// unaffected.
+	Ctx context.Context
+
 	Machine cpu.Config
 	Seed    uint64
 	// Intervals is the run length in EIPV intervals of workload.IntervalInsts.
@@ -215,8 +222,24 @@ func Collect(w workload.Workload, opt CollectOptions) (*CollectResult, error) {
 		}
 	}
 
+	if opt.Ctx != nil {
+		if done := opt.Ctx.Done(); done != nil {
+			sched.SetStop(func() bool {
+				select {
+				case <-done:
+					return true
+				default:
+					return false
+				}
+			})
+		}
+	}
+
 	maxInsts := uint64(opt.Intervals) * workload.IntervalInsts
 	osStats := sched.Run(maxInsts, observe)
+	if opt.Ctx != nil && opt.Ctx.Err() != nil {
+		return nil, opt.Ctx.Err()
+	}
 	res := &CollectResult{
 		Profile:  s.Profile(),
 		Counters: core.Counters(),

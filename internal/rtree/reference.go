@@ -253,7 +253,7 @@ func referenceCrossValidate(data Dataset, opt Options, folds int, seed uint64) (
 	for i := range data {
 		ys[i] = data[i].Y
 	}
-	return crossValidate(ys, opt, folds, seed, func(train []int32, buildOpt Options) foldPredictor {
+	return crossValidate(nil, ys, opt, folds, seed, func(train []int32, buildOpt Options) foldPredictor {
 		sub := make(Dataset, len(train))
 		for j, i := range train {
 			sub[j] = data[i]

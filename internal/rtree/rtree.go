@@ -25,6 +25,7 @@
 package rtree
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -346,7 +347,15 @@ func CrossValidate(data Dataset, opt Options, folds int, seed uint64) (CVResult,
 // are reduced in fold order, so the curve is bit-for-bit the same at any
 // worker count.
 func (m *Matrix) CrossValidate(opt Options, folds int, seed uint64) (CVResult, error) {
-	return crossValidate(m.ys, opt, folds, seed, func(train []int32, buildOpt Options) foldPredictor {
+	return m.CrossValidateCtx(nil, opt, folds, seed)
+}
+
+// CrossValidateCtx is CrossValidate with cooperative cancellation: ctx is
+// polled at fold boundaries, and a cancelled run returns ctx.Err() instead
+// of a curve. Folds that did run are discarded — a partial curve would not
+// be comparable to a full one. A nil ctx never cancels.
+func (m *Matrix) CrossValidateCtx(ctx context.Context, opt Options, folds int, seed uint64) (CVResult, error) {
+	return crossValidate(ctx, m.ys, opt, folds, seed, func(train []int32, buildOpt Options) foldPredictor {
 		t := m.build(train, buildOpt)
 		return t.predictRowK
 	})
@@ -360,8 +369,9 @@ type foldPredictor func(row int32, k int) float64
 // from the seed, trains a model per fold via buildFold, and reduces the
 // held-out squared errors into the RE_k curve. Both the columnar kernel
 // and the reference kernel run through this one implementation, so their
-// CV curves differ only if their trees differ.
-func crossValidate(ys []float64, opt Options, folds int, seed uint64,
+// CV curves differ only if their trees differ. ctx (may be nil) is polled
+// per fold; a cancelled run returns ctx.Err().
+func crossValidate(ctx context.Context, ys []float64, opt Options, folds int, seed uint64,
 	buildFold func(train []int32, buildOpt Options) foldPredictor) (CVResult, error) {
 	if folds < 2 {
 		return CVResult{}, fmt.Errorf("rtree: need at least 2 folds, got %d", folds)
@@ -395,6 +405,11 @@ func crossValidate(ys []float64, opt Options, folds int, seed uint64,
 
 	partials := make([][]float64, folds) // per-fold summed squared errors
 	parallelFor(foldWorkers, folds, func(f int) {
+		// Skip remaining folds once cancelled: cancellation is monotonic,
+		// so the post-loop ctx check below sees it and discards the run.
+		if ctx != nil && ctx.Err() != nil {
+			return
+		}
 		var train, test []int32
 		for i, p := range perm {
 			if p%folds == f {
@@ -414,6 +429,11 @@ func crossValidate(ys []float64, opt Options, folds int, seed uint64,
 		}
 		partials[f] = sq
 	})
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return CVResult{}, err
+		}
+	}
 
 	sqerr := make([]float64, opt.MaxLeaves) // summed over all held-out points
 	for f := 0; f < folds; f++ {

@@ -1,0 +1,421 @@
+// Package serve turns the analysis engine into a long-running HTTP
+// service: the same pipelines the CLI drives — per-workload analysis,
+// Table 2, the figures, the quadrant classification — behind GET
+// endpoints, backed by the process-wide memoized Analyze cache.
+//
+// Design invariants:
+//
+//   - Byte parity with the CLI: every endpoint renders through the exact
+//     render functions the CLI uses, so a served body is byte-identical to
+//     the corresponding command's stdout (serve_test locks this).
+//   - Cancellation all the way down: the request context is threaded
+//     through AnalyzeCtx into the simulator's scheduling loop and the
+//     cross-validation folds. A disconnected client stops paying for
+//     simulation — unless other requests share the flight, in which case
+//     it keeps running for them (singleflight semantics; see the
+//     experiment cache).
+//   - Bounded memory: Config.CacheEntries caps the Analyze LRU so a sweep
+//     of distinct Options cannot grow the heap without bound.
+//   - Observability: /metrics (Prometheus text format), /debug/vars
+//     (expvar), and /debug/pprof are always mounted.
+//
+// Responses are rendered into a buffer before the first byte is written,
+// so error responses are never mixed with partial bodies.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	fuzzyphase "repro"
+	"repro/internal/experiment"
+	"repro/internal/metrics"
+)
+
+// Config tunes the service.
+type Config struct {
+	// Addr is the listen address (default ":8080").
+	Addr string
+	// Base supplies per-request Options defaults (seed, machine, budget);
+	// query parameters override individual fields.
+	Base experiment.Options
+	// CacheEntries bounds the Analyze memoization cache (LRU entries;
+	// 0 = unbounded). Applied at construction via SetAnalysisCacheCap.
+	CacheEntries int
+	// RequestTimeout, if nonzero, is the per-request deadline. A request
+	// may lower it with ?timeout=, never raise it.
+	RequestTimeout time.Duration
+	// ShutdownGrace bounds connection draining on shutdown (default 10s).
+	ShutdownGrace time.Duration
+	// Logf, if non-nil, receives one line per request and lifecycle event.
+	Logf func(format string, args ...any)
+}
+
+// Server is the HTTP service.
+type Server struct {
+	cfg Config
+	mux *http.ServeMux
+
+	reg      *metrics.Registry
+	requests func(endpoint string) *metrics.Counter
+	errors   func(endpoint string) *metrics.Counter
+	inFlight atomic.Int64
+
+	workloads map[string]bool
+}
+
+// New builds a server. It applies Config.CacheEntries to the process-wide
+// Analyze cache immediately.
+func New(cfg Config) *Server {
+	if cfg.Addr == "" {
+		cfg.Addr = ":8080"
+	}
+	if cfg.ShutdownGrace <= 0 {
+		cfg.ShutdownGrace = 10 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	if cfg.CacheEntries > 0 {
+		experiment.SetAnalysisCacheCap(cfg.CacheEntries)
+	}
+
+	s := &Server{cfg: cfg, mux: http.NewServeMux(), reg: metrics.NewRegistry()}
+	s.workloads = map[string]bool{}
+	for _, name := range fuzzyphase.Workloads() {
+		s.workloads[name] = true
+	}
+
+	s.requests = s.reg.LabeledCounter("fuzzyphase_requests_total",
+		"Requests received, by endpoint.", "endpoint")
+	s.errors = s.reg.LabeledCounter("fuzzyphase_request_errors_total",
+		"Requests answered with a non-2xx status, by endpoint.", "endpoint")
+	s.reg.Gauge("fuzzyphase_requests_in_flight",
+		"Requests currently being served.",
+		func() float64 { return float64(s.inFlight.Load()) })
+
+	cache := func(f func(experiment.CacheStats) float64) func() float64 {
+		return func() float64 { return f(experiment.AnalysisCacheStats()) }
+	}
+	s.reg.CounterFunc("fuzzyphase_analyze_cache_hits_total",
+		"Analyze calls answered from a completed cached result.",
+		cache(func(st experiment.CacheStats) float64 { return float64(st.Hits) }))
+	s.reg.CounterFunc("fuzzyphase_analyze_cache_misses_total",
+		"Analyze calls that started a fresh pipeline flight.",
+		cache(func(st experiment.CacheStats) float64 { return float64(st.Misses) }))
+	s.reg.CounterFunc("fuzzyphase_analyze_cache_shared_total",
+		"Analyze calls that joined an in-flight computation (singleflight).",
+		cache(func(st experiment.CacheStats) float64 { return float64(st.Shared) }))
+	s.reg.CounterFunc("fuzzyphase_analyze_cache_evictions_total",
+		"Completed results evicted by the LRU entry cap.",
+		cache(func(st experiment.CacheStats) float64 { return float64(st.Evictions) }))
+	s.reg.CounterFunc("fuzzyphase_analyze_cache_invalidations_total",
+		"InvalidateAnalysisCache calls.",
+		cache(func(st experiment.CacheStats) float64 { return float64(st.Invalidations) }))
+	s.reg.Gauge("fuzzyphase_analyze_cache_entries",
+		"Completed results currently retained.",
+		cache(func(st experiment.CacheStats) float64 { return float64(st.Entries) }))
+	s.reg.Gauge("fuzzyphase_analyze_cache_in_flight",
+		"Pipeline computations currently running.",
+		cache(func(st experiment.CacheStats) float64 { return float64(st.InFlight) }))
+	s.reg.Gauge("fuzzyphase_analyze_cache_cost_bytes",
+		"Approximate heap retained by cached results.",
+		cache(func(st experiment.CacheStats) float64 { return float64(st.CostBytes) }))
+	s.reg.Gauge("fuzzyphase_analyze_cache_entry_cap",
+		"Configured cache entry cap (0 = unbounded).",
+		cache(func(st experiment.CacheStats) float64 { return float64(st.CapEntries) }))
+	s.reg.Gauge("fuzzyphase_goroutines", "Live goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+
+	s.routes()
+	return s
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	s.mux.Handle("/metrics", s.reg.Handler())
+	s.mux.Handle("/debug/vars", expvar.Handler())
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s.handle("workloads", "/workloads", s.handleWorkloads)
+	s.handle("analyze", "/analyze/", s.handleAnalyze)
+	s.handle("explain", "/explain/", s.handleExplain)
+	s.handle("table", "/table/", s.handleTable)
+	s.handle("figure", "/figure/", s.handleFigure)
+	s.handle("quadrants", "/quadrants", s.handleQuadrants)
+	s.handle("cache", "/cache/stats", s.handleCacheStats)
+	s.mux.HandleFunc("/cache/invalidate", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		experiment.InvalidateAnalysisCache()
+		s.cfg.Logf("cache invalidated by %s", r.RemoteAddr)
+		fmt.Fprintln(w, "invalidated")
+	})
+}
+
+// Handler returns the root handler (exported for tests and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// httpError carries a status code out of a handler.
+type httpError struct {
+	code int
+	msg  string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) error {
+	return &httpError{code: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+func notFound(format string, args ...any) error {
+	return &httpError{code: http.StatusNotFound, msg: fmt.Sprintf(format, args...)}
+}
+
+// handler is an endpoint body: it renders a complete response into buf or
+// returns an error (which discards buf).
+type handler func(ctx context.Context, r *http.Request, buf *bytes.Buffer) error
+
+// handle wraps a handler with method filtering, request accounting, the
+// per-request timeout, buffered rendering, and error classification.
+func (s *Server) handle(name, pattern string, h handler) {
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		s.requests(name).Inc()
+		s.inFlight.Add(1)
+		defer s.inFlight.Add(-1)
+		start := time.Now()
+
+		ctx := r.Context()
+		timeout, err := requestTimeout(r, s.cfg.RequestTimeout)
+		if err == nil && timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, timeout)
+			defer cancel()
+		}
+		var buf bytes.Buffer
+		if err == nil {
+			err = h(ctx, r, &buf)
+		}
+
+		code := http.StatusOK
+		if err != nil {
+			var he *httpError
+			switch {
+			case errors.As(err, &he):
+				code = he.code
+			case errors.Is(err, context.DeadlineExceeded):
+				code = http.StatusGatewayTimeout
+			case errors.Is(err, context.Canceled):
+				// The client went away; nothing useful can be written.
+				// 499 is nginx's convention for exactly this.
+				code = 499
+			default:
+				code = http.StatusInternalServerError
+			}
+			s.errors(name).Inc()
+			http.Error(w, err.Error(), code)
+		} else {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			_, _ = w.Write(buf.Bytes())
+		}
+		s.cfg.Logf("%s %s -> %d (%s)", r.Method, r.URL.RequestURI(), code,
+			time.Since(start).Round(time.Millisecond))
+	})
+}
+
+// pathArg extracts the single path segment after prefix ("/analyze/gzip"
+// -> "gzip") and rejects empty or nested paths.
+func pathArg(r *http.Request, prefix string) (string, error) {
+	rest := strings.TrimPrefix(r.URL.Path, prefix)
+	if rest == "" || strings.Contains(rest, "/") {
+		return "", badRequest("expected %s{arg}, got %q", prefix, r.URL.Path)
+	}
+	return rest, nil
+}
+
+// resolveWorkload canonicalizes a workload path segment, accepting the
+// "spec."-less shorthand for SPEC analogs (/analyze/gzip == /analyze/spec.gzip).
+func (s *Server) resolveWorkload(name string) (string, error) {
+	if s.workloads[name] {
+		return name, nil
+	}
+	if alias := "spec." + name; s.workloads[alias] {
+		return alias, nil
+	}
+	return "", notFound("unknown workload %q (see /workloads)", name)
+}
+
+func (s *Server) handleWorkloads(_ context.Context, _ *http.Request, buf *bytes.Buffer) error {
+	for _, name := range fuzzyphase.Workloads() {
+		fmt.Fprintln(buf, name)
+	}
+	return nil
+}
+
+// handleAnalyze serves GET /analyze/{workload}: the same summary
+// `fuzzyphase run {workload}` prints, byte for byte.
+func (s *Server) handleAnalyze(ctx context.Context, r *http.Request, buf *bytes.Buffer) error {
+	name, err := pathArg(r, "/analyze/")
+	if err != nil {
+		return err
+	}
+	name, err = s.resolveWorkload(name)
+	if err != nil {
+		return err
+	}
+	opt, err := optionsFromQuery(s.cfg.Base, r.URL.Query())
+	if err != nil {
+		return err
+	}
+	res, err := experiment.AnalyzeCtx(ctx, name, opt)
+	if err != nil {
+		return err
+	}
+	buf.WriteString(experiment.Summary(res))
+	return nil
+}
+
+// handleExplain serves GET /explain/{workload}: the `fuzzyphase explain`
+// report.
+func (s *Server) handleExplain(ctx context.Context, r *http.Request, buf *bytes.Buffer) error {
+	name, err := pathArg(r, "/explain/")
+	if err != nil {
+		return err
+	}
+	name, err = s.resolveWorkload(name)
+	if err != nil {
+		return err
+	}
+	opt, err := optionsFromQuery(s.cfg.Base, r.URL.Query())
+	if err != nil {
+		return err
+	}
+	res, err := experiment.AnalyzeCtx(ctx, name, opt)
+	if err != nil {
+		return err
+	}
+	experiment.RenderExplanation(buf, res, experiment.Explain(res))
+	return nil
+}
+
+// handleTable serves GET /table/{1|2}: `fuzzyphase table N` stdout.
+func (s *Server) handleTable(ctx context.Context, r *http.Request, buf *bytes.Buffer) error {
+	arg, err := pathArg(r, "/table/")
+	if err != nil {
+		return err
+	}
+	if arg != "1" && arg != "2" {
+		return notFound("no table %q (available: 1, 2)", arg)
+	}
+	opt, err := optionsFromQuery(s.cfg.Base, r.URL.Query())
+	if err != nil {
+		return err
+	}
+	id := 1
+	if arg == "2" {
+		id = 2
+	}
+	return fuzzyphase.TableCtx(ctx, id, opt, buf, nil)
+}
+
+// handleFigure serves GET /figure/{2-13}: `fuzzyphase figure N` stdout.
+func (s *Server) handleFigure(ctx context.Context, r *http.Request, buf *bytes.Buffer) error {
+	arg, err := pathArg(r, "/figure/")
+	if err != nil {
+		return err
+	}
+	var id int
+	if _, err := fmt.Sscanf(arg, "%d", &id); err != nil || id < 2 || id > 13 {
+		return notFound("no figure %q (available: 2-13)", arg)
+	}
+	opt, err := optionsFromQuery(s.cfg.Base, r.URL.Query())
+	if err != nil {
+		return err
+	}
+	return fuzzyphase.FigureCtx(ctx, id, opt, buf)
+}
+
+// handleQuadrants serves GET /quadrants: the §7 quadrant-space definition
+// followed by the full-suite census under the request Options — the
+// classification the paper's Table 2 footer summarizes.
+func (s *Server) handleQuadrants(ctx context.Context, r *http.Request, buf *bytes.Buffer) error {
+	opt, err := optionsFromQuery(s.cfg.Base, r.URL.Query())
+	if err != nil {
+		return err
+	}
+	rows, err := experiment.Table2(ctx, opt, nil)
+	if err != nil {
+		return err
+	}
+	experiment.RenderFigure13(buf, experiment.Figure13())
+	experiment.RenderQuadrantCensus(buf, rows)
+	return nil
+}
+
+func (s *Server) handleCacheStats(_ context.Context, _ *http.Request, buf *bytes.Buffer) error {
+	fmt.Fprintln(buf, experiment.AnalysisCacheStats())
+	return nil
+}
+
+// ListenAndServe runs the service until ctx is cancelled, then drains:
+// in-flight responses get ShutdownGrace to complete before connections are
+// forcibly closed. It returns nil on a clean drain.
+func (s *Server) ListenAndServe(ctx context.Context) error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	return s.serve(ctx, ln)
+}
+
+func (s *Server) serve(ctx context.Context, ln net.Listener) error {
+	srv := &http.Server{
+		Handler:           s.mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	s.cfg.Logf("serving on http://%s (cache cap %d entries)", ln.Addr(), s.cfg.CacheEntries)
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	s.cfg.Logf("shutting down: draining connections (grace %s)", s.cfg.ShutdownGrace)
+	sctx, cancel := context.WithTimeout(context.Background(), s.cfg.ShutdownGrace)
+	defer cancel()
+	err := srv.Shutdown(sctx)
+	if err != nil {
+		// Grace expired with connections still open: force them closed.
+		_ = srv.Close()
+	}
+	<-errc // srv.Serve has returned http.ErrServerClosed
+	s.cfg.Logf("shutdown complete")
+	return err
+}

@@ -1,0 +1,248 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/experiment"
+)
+
+// fastQuery keeps handler tests quick; it matches the experiment package's
+// fast() test options.
+const fastQuery = "intervals=60&warmup=6&seed=1"
+
+func newTestServer(t *testing.T, cfg Config) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(New(cfg).Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() {
+		// Serve tests may bound or populate the process-wide cache; leave it
+		// unbounded and empty for whoever runs next in this binary.
+		experiment.SetAnalysisCacheCap(0)
+		experiment.InvalidateAnalysisCache()
+	})
+	return ts
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestAnalyzeByteIdenticalToCLI is the serve-mode parity criterion: the
+// /analyze body must match what `fuzzyphase run` prints for the same
+// options, byte for byte.
+func TestAnalyzeByteIdenticalToCLI(t *testing.T) {
+	ts := newTestServer(t, Config{})
+
+	code, body := get(t, ts.URL+"/analyze/spec.gzip?"+fastQuery)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+
+	res, err := experiment.AnalyzeCtx(context.Background(),
+		"spec.gzip", experiment.Options{Intervals: 60, Warmup: 6, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := experiment.Summary(res); body != want {
+		t.Fatalf("served body diverges from CLI summary:\n--- served ---\n%s--- cli ---\n%s", body, want)
+	}
+
+	// The spec. prefix is optional in the URL, and both spellings share one
+	// cache entry.
+	code, alias := get(t, ts.URL+"/analyze/gzip?"+fastQuery)
+	if code != http.StatusOK || alias != body {
+		t.Fatalf("alias /analyze/gzip: status %d, body match %v", code, alias == body)
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	cases := []struct {
+		path string
+		want int
+	}{
+		{"/analyze/not-a-workload?" + fastQuery, http.StatusNotFound},
+		{"/analyze/?" + fastQuery, http.StatusBadRequest},
+		{"/analyze/spec.gzip/extra", http.StatusBadRequest},
+		{"/analyze/spec.gzip?intervals=sixty", http.StatusBadRequest},
+		{"/analyze/spec.gzip?intervalls=60", http.StatusBadRequest}, // typo must not run defaults
+		{"/analyze/spec.gzip?machine=vax", http.StatusBadRequest},
+		{"/analyze/spec.gzip?timeout=banana", http.StatusBadRequest},
+		{"/table/7?" + fastQuery, http.StatusNotFound},
+		{"/figure/99?" + fastQuery, http.StatusNotFound},
+		{"/figure/abc?" + fastQuery, http.StatusNotFound},
+	}
+	for _, tc := range cases {
+		if code, body := get(t, ts.URL+tc.path); code != tc.want {
+			t.Errorf("GET %s = %d, want %d (%s)", tc.path, code, tc.want, strings.TrimSpace(body))
+		}
+	}
+
+	resp, err := http.Post(ts.URL+"/analyze/spec.gzip", "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /analyze = %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestRequestTimeout: an aggressive ?timeout= on a fresh (uncached) heavy
+// analysis must come back 504, and the key must remain computable.
+func TestRequestTimeout(t *testing.T) {
+	ts := newTestServer(t, Config{})
+
+	code, body := get(t, ts.URL+"/analyze/odb-h.q18?intervals=640&seed=96&timeout=5ms")
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504 (%s)", code, strings.TrimSpace(body))
+	}
+	// The timed-out flight must not poison the cache: a patient retry works.
+	code, _ = get(t, ts.URL+"/analyze/odb-h.q18?intervals=60&warmup=6&seed=96")
+	if code != http.StatusOK {
+		t.Fatalf("retry after timeout: status %d", code)
+	}
+}
+
+// TestCacheBounded is the bounded-memory criterion: sweeping more distinct
+// Options than the cap never exceeds the cap, and evictions are counted.
+func TestCacheBounded(t *testing.T) {
+	const capEntries = 2
+	ts := newTestServer(t, Config{CacheEntries: capEntries})
+	experiment.InvalidateAnalysisCache()
+
+	const sweeps = 5 // > capEntries distinct option sets
+	for seed := 0; seed < sweeps; seed++ {
+		url := fmt.Sprintf("%s/analyze/spec.gzip?intervals=60&warmup=6&seed=%d", ts.URL, 100+seed)
+		if code, body := get(t, url); code != http.StatusOK {
+			t.Fatalf("seed %d: status %d (%s)", seed, code, strings.TrimSpace(body))
+		}
+		if st := experiment.AnalysisCacheStats(); st.Entries > capEntries {
+			t.Fatalf("after %d sweeps: Entries = %d exceeds cap %d", seed+1, st.Entries, capEntries)
+		}
+	}
+	st := experiment.AnalysisCacheStats()
+	if st.Entries != capEntries {
+		t.Errorf("Entries = %d, want cap %d", st.Entries, capEntries)
+	}
+	if st.Evictions < sweeps-capEntries {
+		t.Errorf("Evictions = %d, want >= %d", st.Evictions, sweeps-capEntries)
+	}
+	if st.CapEntries != capEntries {
+		t.Errorf("CapEntries = %d, want %d", st.CapEntries, capEntries)
+	}
+}
+
+// TestMetricsEndpoint: /metrics must expose the request counters and every
+// cache series named in the issue (hits/misses/shared/evictions/in-flight).
+func TestMetricsEndpoint(t *testing.T) {
+	ts := newTestServer(t, Config{})
+
+	// Generate one miss and one hit so counters are nonzero.
+	experiment.InvalidateAnalysisCache()
+	get(t, ts.URL+"/analyze/spec.gzip?"+fastQuery)
+	get(t, ts.URL+"/analyze/spec.gzip?"+fastQuery)
+
+	code, body := get(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	for _, series := range []string{
+		`fuzzyphase_requests_total{endpoint="analyze"} 2`,
+		"fuzzyphase_analyze_cache_hits_total",
+		"fuzzyphase_analyze_cache_misses_total",
+		"fuzzyphase_analyze_cache_shared_total",
+		"fuzzyphase_analyze_cache_evictions_total",
+		"fuzzyphase_analyze_cache_in_flight",
+		"fuzzyphase_analyze_cache_entries",
+		"fuzzyphase_requests_in_flight",
+	} {
+		if !strings.Contains(body, series) {
+			t.Errorf("/metrics missing %q", series)
+		}
+	}
+	// The hit/miss totals reflect the two requests above (>= because other
+	// tests in this binary share the process-wide cache counters).
+	if !strings.Contains(body, "fuzzyphase_analyze_cache_hits_total ") {
+		t.Error("hits series missing a value")
+	}
+}
+
+func TestAuxiliaryEndpoints(t *testing.T) {
+	ts := newTestServer(t, Config{})
+
+	if code, body := get(t, ts.URL+"/healthz"); code != 200 || body != "ok\n" {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+	code, body := get(t, ts.URL+"/workloads")
+	if code != 200 || !strings.Contains(body, "spec.gzip") || !strings.Contains(body, "odb-h.q13") {
+		t.Errorf("/workloads = %d, missing expected names:\n%s", code, body)
+	}
+	if code, body := get(t, ts.URL+"/cache/stats"); code != 200 || !strings.Contains(body, "analyze cache:") {
+		t.Errorf("/cache/stats = %d %q", code, body)
+	}
+	if code, _ := get(t, ts.URL+"/debug/pprof/cmdline"); code != 200 {
+		t.Errorf("/debug/pprof/cmdline = %d", code)
+	}
+
+	resp, err := http.Post(ts.URL+"/cache/invalidate", "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("POST /cache/invalidate = %d", resp.StatusCode)
+	}
+	if st := experiment.AnalysisCacheStats(); st.Entries != 0 {
+		t.Errorf("cache not empty after invalidate: %+v", st)
+	}
+}
+
+// TestFigureEndpoint spot-checks one cheap figure and the quadrant view
+// render without error.
+func TestFigureEndpoint(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	code, body := get(t, ts.URL+"/figure/13")
+	if code != 200 || !strings.Contains(body, "quadrant space") {
+		t.Errorf("/figure/13 = %d:\n%s", code, body)
+	}
+}
+
+// TestGracefulShutdown: cancelling the serve context drains and returns.
+func TestGracefulShutdown(t *testing.T) {
+	s := New(Config{Addr: "127.0.0.1:0", ShutdownGrace: 2 * time.Second})
+	t.Cleanup(func() {
+		experiment.SetAnalysisCacheCap(0)
+		experiment.InvalidateAnalysisCache()
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- s.ListenAndServe(ctx) }()
+	time.Sleep(50 * time.Millisecond) // let the listener come up
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("shutdown returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+}
