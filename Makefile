@@ -1,7 +1,7 @@
 # Tier-1 verification plus race/vet hygiene in one command: `make check`.
 GO ?= go
 
-.PHONY: build test race vet bench benchjson benchjson-kmeans check results verify-results serve-smoke
+.PHONY: build test race vet bench benchjson benchjson-kmeans benchjson-profiler check results verify-results verify-results-store serve-smoke
 
 build:
 	$(GO) build ./...
@@ -34,6 +34,15 @@ benchjson-kmeans:
 		| $(GO) run ./cmd/benchjson > BENCH_kmeans.json
 	@cat BENCH_kmeans.json
 
+# Machine-readable profile-store benchmark numbers: one full collection
+# per tier (cold = simulate, disk-warm = decode stored entry, mem-warm =
+# LRU hit) across one workload per paper family.
+benchjson-profiler:
+	$(GO) test -run '^$$' -bench 'Collect(Cold|DiskWarm|MemWarm)' -benchmem \
+		-benchtime 5x -timeout 30m ./internal/profstore/ \
+		| $(GO) run ./cmd/benchjson > BENCH_profiler.json
+	@cat BENCH_profiler.json
+
 # Regenerate the archived paper artifacts in results/ (seed 1, 320
 # intervals, itanium2 — the defaults baked into `fuzzyphase results`).
 results:
@@ -49,6 +58,22 @@ verify-results:
 	$(GO) run ./cmd/fuzzyphase results /tmp/fuzzyphase-verify-parallel -parallel 4
 	diff -r results /tmp/fuzzyphase-verify-parallel
 	@echo "verify-results: all $$(ls results | wc -l) artifacts byte-identical (serial and -parallel 4)"
+
+# Golden-output check through the persistent profile store: regenerate
+# the results/ artifacts twice against one shared -profile-dir — first
+# cold (store empty, entries written) then warm (every profile served
+# from disk) — and diff both runs byte-for-byte against the archive.
+# Proves the store changes where profile bytes come from, never the
+# bytes themselves, at different -parallel counts.
+verify-results-store:
+	rm -rf /tmp/fuzzyphase-profstore /tmp/fuzzyphase-verify-cold /tmp/fuzzyphase-verify-warm
+	$(GO) run ./cmd/fuzzyphase results /tmp/fuzzyphase-verify-cold \
+		-profile-dir /tmp/fuzzyphase-profstore -parallel 4
+	diff -r results /tmp/fuzzyphase-verify-cold
+	$(GO) run ./cmd/fuzzyphase results /tmp/fuzzyphase-verify-warm \
+		-profile-dir /tmp/fuzzyphase-profstore -parallel 1
+	diff -r results /tmp/fuzzyphase-verify-warm
+	@echo "verify-results-store: all $$(ls results | wc -l) artifacts byte-identical (cold and disk-warm store)"
 
 # End-to-end smoke of the serve mode over a real TCP socket: boot the
 # binary, hit an analysis endpoint and /metrics, then check that SIGTERM

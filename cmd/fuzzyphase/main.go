@@ -20,6 +20,9 @@
 //	-machine NAME  itanium2 | pentium4 | xeon (default itanium2)
 //	-threads       build thread-separated EIPVs
 //	-parallel N    worker goroutines (0 = one per CPU; output identical at any N)
+//	-profile-dir D persistent profile store (default $FUZZYPHASE_PROFILE_DIR);
+//	               collected profiles are content-addressed and reused across
+//	               runs — output is byte-identical with or without the store
 //	-cachestats    print Analyze memoization stats to stderr on exit
 //	-cpuprofile F  write a CPU profile to F
 //	-memprofile F  write a heap profile to F on exit
@@ -77,12 +80,17 @@ commands:
   serve                        run the analysis engine as an HTTP service
 
 flags (after positional args): -seed -intervals -machine -threads -parallel
-  -cachestats -cpuprofile -memprofile -pprof
+  -profile-dir -cachestats -cpuprofile -memprofile -pprof
 serve flags: -addr -cache-entries -timeout -grace
 
   -parallel N runs the analysis engine on N worker goroutines (0, the
   default, uses one per CPU). Output is bit-for-bit identical at any N;
-  only the wall-clock changes.`)
+  only the wall-clock changes.
+
+  -profile-dir D (default $FUZZYPHASE_PROFILE_DIR) keeps collected
+  profiles in a persistent content-addressed store: reruns read the
+  simulation's output from disk instead of re-simulating, with
+  byte-identical results.`)
 	os.Exit(2)
 }
 
@@ -106,6 +114,8 @@ func main() {
 	threads := fs.Bool("threads", false, "thread-separated EIPVs")
 	parallel := fs.Int("parallel", 0, "worker goroutines (0 = one per CPU)")
 	cachestats := fs.Bool("cachestats", false, "print Analyze cache stats to stderr on exit")
+	profileDir := fs.String("profile-dir", os.Getenv("FUZZYPHASE_PROFILE_DIR"),
+		"persistent profile store directory (default $FUZZYPHASE_PROFILE_DIR; empty = memory-only)")
 	csv := fs.Bool("csv", false, "emit raw CSV instead of a text summary (figures 2,3,8,9,10,11)")
 	addr := fs.String("addr", ":8080", "serve: listen address")
 	cacheEntries := fs.Int("cache-entries", 64, "serve: Analyze LRU cache cap in entries (0 = unbounded)")
@@ -136,9 +146,18 @@ func main() {
 		ThreadSeparated: *threads,
 		Parallelism:     *parallel,
 	}
+	if *profileDir != "" {
+		if err := fuzzyphase.SetProfileDir(*profileDir); err != nil {
+			fatal(err)
+		}
+		experiment.SetProfileLogf(func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "# "+format+"\n", args...)
+		})
+	}
 	if *cachestats {
 		defer func() {
 			fmt.Fprintln(os.Stderr, "#", fuzzyphase.AnalysisCacheStats())
+			fmt.Fprintln(os.Stderr, "#", fuzzyphase.ProfileStoreStats())
 		}()
 	}
 
@@ -299,7 +318,7 @@ func main() {
 		if len(pos) != 0 {
 			usage()
 		}
-		if err := runServe(*addr, *cacheEntries, *reqTimeout, *grace, opt); err != nil {
+		if err := runServe(*addr, *cacheEntries, *reqTimeout, *grace, *profileDir, opt); err != nil {
 			fatal(err)
 		}
 

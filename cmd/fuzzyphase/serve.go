@@ -16,7 +16,7 @@ import (
 // SIGINT/SIGTERM, then drains in-flight requests. The -seed/-intervals/
 // -machine/-threads/-parallel flags become the per-request Option
 // defaults; query parameters override them per request.
-func runServe(addr string, cacheEntries int, timeout, grace time.Duration, opt fuzzyphase.Options) error {
+func runServe(addr string, cacheEntries int, timeout, grace time.Duration, profileDir string, opt fuzzyphase.Options) error {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
@@ -26,6 +26,7 @@ func runServe(addr string, cacheEntries int, timeout, grace time.Duration, opt f
 		CacheEntries:   cacheEntries,
 		RequestTimeout: timeout,
 		ShutdownGrace:  grace,
+		ProfileDir:     profileDir,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "# "+format+"\n", args...)
 		},

@@ -35,6 +35,7 @@ import (
 	"io"
 
 	"repro/internal/experiment"
+	"repro/internal/profstore"
 	"repro/internal/quadrant"
 	"repro/internal/sampling"
 	"repro/internal/workload"
@@ -103,9 +104,25 @@ type CacheStats = experiment.CacheStats
 // process-wide Analyze cache.
 func AnalysisCacheStats() CacheStats { return experiment.AnalysisCacheStats() }
 
-// InvalidateAnalysisCache drops every memoized Analyze result; subsequent
-// calls re-simulate.
+// InvalidateAnalysisCache drops every memoized Analyze result (and the
+// profile store's in-memory tier); subsequent calls re-simulate, unless an
+// on-disk profile store serves them.
 func InvalidateAnalysisCache() { experiment.InvalidateAnalysisCache() }
+
+// SetProfileDir attaches a persistent profile store at dir (created if
+// missing): collected profiles — the expensive simulation front-end of
+// every analysis — are content-addressed by their full configuration and
+// reused across processes. "" detaches the store (the default,
+// memory-only). An unwritable directory degrades the store to memory-only
+// with a logged warning rather than failing analyses.
+func SetProfileDir(dir string) error { return experiment.SetProfileDir(dir) }
+
+// ProfileStats is a snapshot of the profile store counters.
+type ProfileStats = profstore.Stats
+
+// ProfileStoreStats reports the profile store's tier hits, writes, and
+// corruption recoveries.
+func ProfileStoreStats() ProfileStats { return experiment.ProfileStoreStats() }
 
 // Summary renders a Result as a short human-readable report.
 func Summary(res *Result) string { return experiment.Summary(res) }

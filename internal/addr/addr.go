@@ -139,3 +139,33 @@ func (s *Space) Find(a Address) (Region, bool) {
 // Regions returns all allocated regions sorted by base address. The
 // returned slice is owned by the Space and must not be modified.
 func (s *Space) Regions() []Region { return s.regions }
+
+// SpaceFromRegions reconstructs a Space from a serialized region list (the
+// profile store persists a collection's layout so deserialized profiles
+// can still symbolize EIPs). The bump cursors are advanced past every
+// existing region, so a reconstructed Space could even allocate further
+// without overlap — though in practice it is only ever asked to Find.
+func SpaceFromRegions(regions []Region) *Space {
+	s := NewSpace()
+	s.regions = make([]Region, len(regions))
+	copy(s.regions, regions)
+	sort.Slice(s.regions, func(i, j int) bool { return s.regions[i].Base < s.regions[j].Base })
+	for _, r := range s.regions {
+		end := r.End()
+		switch {
+		case r.Base >= KernelBase:
+			if end > s.nextKernel {
+				s.nextKernel = end
+			}
+		case r.Base >= UserDataBase:
+			if end > s.nextData {
+				s.nextData = end
+			}
+		default:
+			if end > s.nextCode {
+				s.nextCode = end
+			}
+		}
+	}
+	return s
+}

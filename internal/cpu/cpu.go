@@ -22,6 +22,7 @@ package cpu
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/branch"
 	"repro/internal/cache"
@@ -229,6 +230,25 @@ func Xeon() Config {
 		PredictorBits:     14,
 		IFetchFactor:      0.35,
 	}
+}
+
+// Canonical renders the configuration as a stable, field-by-field string:
+// two Configs produce the same canonical form iff every field the simulator
+// reads is equal (the optional L3 is dereferenced). It is the machine part
+// of every cache and profile-store key, so hand-built Configs key correctly,
+// not just the named presets — and so any change to the machine model
+// changes the key and can never alias a stale cached profile.
+func (c Config) Canonical() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "m=%s{%+v;%+v;%+v;l3=", c.Name, c.L1I, c.L1D, c.L2)
+	if c.L3 != nil {
+		fmt.Fprintf(&b, "%+v", *c.L3)
+	} else {
+		b.WriteString("nil")
+	}
+	fmt.Fprintf(&b, ";lat=%+v;mp=%d;pb=%d;iff=%g}",
+		c.Lat, c.MispredictPenalty, c.PredictorBits, c.IFetchFactor)
+	return b.String()
 }
 
 // ConfigByName returns one of the stock configurations.

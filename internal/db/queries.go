@@ -389,7 +389,16 @@ func (w *DSSWorkload) Setup(sched *osim.Sched, space *addr.Space, seed uint64) {
 			loop.padTo = workload.IntervalInsts
 		}
 		w.Loops = append(w.Loops, loop)
-		sched.Add(fmt.Sprintf("%s.w%d", w.Name(), i), workload.NewRunner(loop))
+		// A lone worker owns every cursor it walks (its Exec, the shared
+		// DB regions), so its trace is generation-order independent and
+		// can be produced ahead of retirement. Multi-worker plans
+		// interleave Glue walks over the same DB.Code cursors and must
+		// stay inline.
+		runner := workload.NewRunner(loop)
+		if w.info.Workers == 1 {
+			runner = workload.NewIndependentRunner(loop)
+		}
+		sched.Add(fmt.Sprintf("%s.w%d", w.Name(), i), runner)
 	}
 }
 

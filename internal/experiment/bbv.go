@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"io"
 
-	"repro/internal/profiler"
 	"repro/internal/rtree"
 )
 
@@ -40,15 +39,7 @@ func CompareBBV(ctx context.Context, names []string, opt Options) ([]BBVComparis
 	out := make([]BBVComparison, len(names))
 	err := forEach(ctx, workers, len(names), func(ctx context.Context, i int) error {
 		name := names[i]
-		col, err := profiler.CollectByName(name, profiler.CollectOptions{
-			Ctx:              ctx,
-			Machine:          opt.Machine,
-			Seed:             opt.Seed,
-			Intervals:        opt.Intervals,
-			PeriodOverride:   opt.PeriodOverride,
-			BuildBBV:         true,
-			BBVIntervalInsts: opt.IntervalInsts,
-		})
+		col, err := collectCached(ctx, name, opt, true)
 		if err != nil {
 			return err
 		}

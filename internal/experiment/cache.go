@@ -52,14 +52,8 @@ func cacheKey(name string, opt Options) string {
 }
 
 func writeMachine(b *strings.Builder, m cpu.Config) {
-	fmt.Fprintf(b, "|m=%s{%+v;%+v;%+v;l3=", m.Name, m.L1I, m.L1D, m.L2)
-	if m.L3 != nil {
-		fmt.Fprintf(b, "%+v", *m.L3)
-	} else {
-		b.WriteString("nil")
-	}
-	fmt.Fprintf(b, ";lat=%+v;mp=%d;pb=%d;iff=%g}",
-		m.Lat, m.MispredictPenalty, m.PredictorBits, m.IFetchFactor)
+	b.WriteByte('|')
+	b.WriteString(m.Canonical())
 }
 
 // CacheStats is a snapshot of the Analyze cache counters.
@@ -330,8 +324,13 @@ func SetAnalysisCacheCap(n int) int { return analysisCache.setCap(n) }
 // InvalidateAnalysisCache drops every memoized Analyze result (and resets
 // nothing else: the hit/miss counters keep accumulating). In-flight
 // computations finish and hand their result to their current waiters, but
-// are not re-admitted to the cache.
-func InvalidateAnalysisCache() { analysisCache.invalidate() }
+// are not re-admitted to the cache. The profile store's memory tier is
+// dropped too, so "invalidate" means what benchmarks expect — the next
+// Analyze really re-simulates (unless an on-disk profile tier serves it).
+func InvalidateAnalysisCache() {
+	analysisCache.invalidate()
+	profiles.DropMemory()
+}
 
 // String renders the stats as a one-line summary.
 func (s CacheStats) String() string {

@@ -191,13 +191,7 @@ func AnalyzeCtx(ctx context.Context, name string, opt Options) (*Result, error) 
 // cancels the simulation (polled per scheduler time slice) and the
 // cross-validation (polled per fold).
 func analyzeUncached(ctx context.Context, name string, opt Options) (*Result, error) {
-	col, err := profiler.CollectByName(name, profiler.CollectOptions{
-		Ctx:            ctx,
-		Machine:        opt.Machine,
-		Seed:           opt.Seed,
-		Intervals:      opt.Intervals,
-		PeriodOverride: opt.PeriodOverride,
-	})
+	col, err := collectCached(ctx, name, opt, false)
 	if err != nil {
 		return nil, err
 	}

@@ -49,6 +49,53 @@ type RunnerFunc func(ev *cpu.BlockEvent) (Action, uint64)
 // Step implements Runner.
 func (f RunnerFunc) Step(ev *cpu.BlockEvent) (Action, uint64) { return f(ev) }
 
+// TraceBuffered is implemented by runners whose event stream is a pure
+// function of their own state — independent of scheduling order, simulated
+// time, and every other thread — and can therefore be generated ahead of
+// retirement on a background goroutine. The scheduler still consumes each
+// thread's stream strictly in order and interleaves threads exactly as it
+// would inline, so the merged retirement stream (and hence the profile) is
+// byte-identical at any worker count.
+//
+// Run calls StartLookahead once per such runner before the first Step when
+// trace workers are enabled, and StopLookahead on every exit path
+// (completion, budget exhaustion, cancellation). StopLookahead must
+// terminate the producer goroutine, wait for it, and be a no-op when
+// StartLookahead was never called.
+type TraceBuffered interface {
+	Runner
+	StartLookahead(pool *TracePool)
+	StopLookahead()
+}
+
+// TracePool bounds how many lookahead producers may generate trace
+// simultaneously during one scheduler run.
+type TracePool struct{ sem chan struct{} }
+
+// NewTracePool returns a pool with the given number of generation slots
+// (minimum 1).
+func NewTracePool(workers int) *TracePool {
+	if workers < 1 {
+		workers = 1
+	}
+	return &TracePool{sem: make(chan struct{}, workers)}
+}
+
+// Acquire blocks until a generation slot is free or stop is closed, and
+// reports whether the slot was acquired. Every successful Acquire must be
+// paired with Release.
+func (p *TracePool) Acquire(stop <-chan struct{}) bool {
+	select {
+	case p.sem <- struct{}{}:
+		return true
+	case <-stop:
+		return false
+	}
+}
+
+// Release returns a generation slot to the pool.
+func (p *TracePool) Release() { <-p.sem }
+
 // Config tunes the scheduler.
 type Config struct {
 	// TimeSliceInsts is the round-robin quantum in retired instructions.
@@ -136,6 +183,10 @@ type Sched struct {
 	// stop, if non-nil, is polled once per scheduling decision; returning
 	// true ends Run early (cooperative cancellation).
 	stop func() bool
+
+	// traceWorkers > 0 enables lookahead generation for TraceBuffered
+	// runners, bounded to that many concurrent producers.
+	traceWorkers int
 }
 
 // New builds a scheduler over core. Kernel code regions are allocated from
@@ -170,6 +221,14 @@ func (s *Sched) Stats() Stats { return s.stats }
 // an early stop are valid but cover only the simulated prefix.
 func (s *Sched) SetStop(stop func() bool) { s.stop = stop }
 
+// SetTraceWorkers enables lookahead trace generation: threads whose
+// runners implement TraceBuffered generate their event streams on
+// background goroutines (at most n generating concurrently) while the
+// retirement loop consumes them in order. n <= 0 — the default — keeps
+// every thread's generation inline. The retirement stream is byte-identical
+// at every setting; only wall-clock time changes.
+func (s *Sched) SetTraceWorkers(n int) { s.traceWorkers = n }
+
 // ThreadInsts returns per-thread retired instruction counts, indexed by id.
 func (s *Sched) ThreadInsts() []uint64 {
 	out := make([]uint64, len(s.threads))
@@ -188,6 +247,24 @@ func (s *Sched) Now() uint64 { return s.core.Counters().Cycles + s.idle }
 func (s *Sched) Run(maxInsts uint64, observe func(ev *cpu.BlockEvent)) Stats {
 	var ev cpu.BlockEvent
 	budget := func() bool { return s.core.Counters().Insts < maxInsts }
+
+	if s.traceWorkers > 0 {
+		pool := NewTracePool(s.traceWorkers)
+		var started []TraceBuffered
+		for _, t := range s.threads {
+			if tb, ok := t.runner.(TraceBuffered); ok {
+				tb.StartLookahead(pool)
+				started = append(started, tb)
+			}
+		}
+		// Producers are stopped on every exit path — completion, budget
+		// exhaustion, or cancellation — so Run never leaks a goroutine.
+		defer func() {
+			for _, tb := range started {
+				tb.StopLookahead()
+			}
+		}()
+	}
 
 	cur := s.pickReady()
 	for budget() {

@@ -138,6 +138,14 @@ type CollectOptions struct {
 	BuildBBV bool
 	// BBVIntervalInsts sizes BBV intervals (0 = workload.IntervalInsts).
 	BBVIntervalInsts uint64
+	// TraceWorkers enables lookahead trace generation for threads whose
+	// runners are trace-independent (workload.NewIndependentRunner),
+	// bounded to this many concurrent producer goroutines. 0 (the
+	// default) generates every trace inline. The collected profile is
+	// byte-identical at every setting — lookahead changes wall-clock
+	// time, never output — so TraceWorkers is deliberately excluded from
+	// profile-store keys.
+	TraceWorkers int
 }
 
 // CollectResult bundles everything a collection run produces.
@@ -192,6 +200,13 @@ func Collect(w workload.Workload, opt CollectOptions) (*CollectResult, error) {
 	if opt.Intervals <= 0 {
 		return nil, fmt.Errorf("profiler: Intervals must be positive, got %d", opt.Intervals)
 	}
+	// Honor cancellation before doing any work, and again after workload
+	// setup: building a DSS database or an OLTP heap is real time during
+	// which the scheduler's per-slice poll is not yet running, and an
+	// already-expired request must not pay for it.
+	if err := ctxErr(opt.Ctx); err != nil {
+		return nil, err
+	}
 	machine := opt.Machine
 	if machine.Name == "" {
 		machine = cpu.Itanium2()
@@ -199,7 +214,11 @@ func Collect(w workload.Workload, opt CollectOptions) (*CollectResult, error) {
 	core := cpu.New(machine)
 	space := addr.NewSpace()
 	sched := osim.New(core, space, osim.DefaultConfig())
+	sched.SetTraceWorkers(opt.TraceWorkers)
 	w.Setup(sched, space, opt.Seed)
+	if err := ctxErr(opt.Ctx); err != nil {
+		return nil, err
+	}
 
 	period := w.SamplePeriod()
 	if opt.PeriodOverride != 0 {
@@ -251,6 +270,14 @@ func Collect(w workload.Workload, opt CollectOptions) (*CollectResult, error) {
 		res.BBV = bbv.out
 	}
 	return res, nil
+}
+
+// ctxErr returns ctx.Err() tolerating the nil contexts batch callers pass.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
 }
 
 // CollectByName looks the workload up in the registry and collects it.

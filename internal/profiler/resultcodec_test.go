@@ -1,0 +1,252 @@
+package profiler
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/cpu"
+	"repro/internal/osim"
+	"repro/internal/workload"
+)
+
+// collectFixture runs the prof-test fixture, optionally with BBVs, to get
+// a realistic CollectResult.
+func collectFixture(t *testing.T, bbv bool) *CollectResult {
+	t.Helper()
+	res, err := CollectByName("prof-test", CollectOptions{
+		Seed: 4, Intervals: 2, BuildBBV: bbv,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestResultCodecRoundTrip(t *testing.T) {
+	for _, bbv := range []bool{false, true} {
+		orig := collectFixture(t, bbv)
+		data := EncodeResult(orig)
+		got, err := DecodeResult(data)
+		if err != nil {
+			t.Fatalf("bbv=%t: %v", bbv, err)
+		}
+		if !reflect.DeepEqual(got.Profile, orig.Profile) {
+			t.Fatalf("bbv=%t: profile differs after round trip", bbv)
+		}
+		if got.Counters != orig.Counters || got.OS != orig.OS || got.Seconds != orig.Seconds {
+			t.Fatalf("bbv=%t: totals differ: %+v vs %+v", bbv, got, orig)
+		}
+		if !reflect.DeepEqual(got.BBV, orig.BBV) {
+			t.Fatalf("bbv=%t: BBVs differ after round trip", bbv)
+		}
+		if !reflect.DeepEqual(got.Space.Regions(), orig.Space.Regions()) {
+			t.Fatalf("bbv=%t: regions differ after round trip", bbv)
+		}
+		// The decoded Space must still symbolize sampled EIPs.
+		if len(got.Profile.Samples) > 0 {
+			eip := got.Profile.Samples[0].EIP
+			r1, ok1 := orig.Space.Find(eip)
+			r2, ok2 := got.Space.Find(eip)
+			if ok1 != ok2 || r1 != r2 {
+				t.Fatalf("bbv=%t: Find(%#x) differs: %v/%v vs %v/%v", bbv, eip, r1, ok1, r2, ok2)
+			}
+		}
+	}
+}
+
+// TestEncodeDeterministic: the same result must encode to identical bytes
+// every time (BBV maps are the only unordered source, and must be sorted).
+func TestEncodeDeterministic(t *testing.T) {
+	res := collectFixture(t, true)
+	a := EncodeResult(res)
+	for i := 0; i < 10; i++ {
+		if !bytes.Equal(a, EncodeResult(res)) {
+			t.Fatal("EncodeResult is not deterministic")
+		}
+	}
+	// Encode∘Decode must be a fixed point, so a disk-read entry rewrites
+	// to identical bytes.
+	dec, err := DecodeResult(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, EncodeResult(dec)) {
+		t.Fatal("Encode(Decode(x)) != x")
+	}
+}
+
+func TestEncodeEmptyResult(t *testing.T) {
+	res := &CollectResult{Profile: &Profile{Workload: "w", Machine: "m", Period: 1}}
+	data := EncodeResult(res)
+	got, err := DecodeResult(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Profile.Workload != "w" || len(got.Profile.Samples) != 0 || len(got.BBV) != 0 {
+		t.Fatalf("round trip: %+v", got)
+	}
+}
+
+func TestDecodeRejectsDamage(t *testing.T) {
+	valid := EncodeResult(collectFixture(t, true))
+
+	t.Run("short", func(t *testing.T) {
+		for _, n := range []int{0, 1, 4, 12} {
+			if _, err := DecodeResult(valid[:n]); !errors.Is(err, ErrCorrupt) {
+				t.Errorf("len %d: err = %v, want ErrCorrupt", n, err)
+			}
+		}
+	})
+	t.Run("bad magic", func(t *testing.T) {
+		data := bytes.Clone(valid)
+		data[0] ^= 0xff
+		if _, err := DecodeResult(data); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("err = %v, want ErrCorrupt", err)
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		// Every truncation that keeps the minimum length must fail the
+		// checksum, never panic or succeed.
+		for n := len(resultMagic) + 1 + 8; n < len(valid); n += 97 {
+			if _, err := DecodeResult(valid[:n]); !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("truncated to %d: err = %v, want ErrCorrupt", n, err)
+			}
+		}
+	})
+	t.Run("bit flips", func(t *testing.T) {
+		for pos := len(resultMagic); pos < len(valid); pos += 131 {
+			data := bytes.Clone(valid)
+			data[pos] ^= 0x10
+			if _, err := DecodeResult(data); err == nil {
+				t.Fatalf("flip at %d decoded successfully", pos)
+			}
+		}
+	})
+	t.Run("trailing bytes", func(t *testing.T) {
+		// Extend the payload and re-seal the checksum: structural check
+		// must still catch it.
+		body := bytes.Clone(valid[:len(valid)-4])
+		body = append(body, 0xAB)
+		data := binary.LittleEndian.AppendUint32(body, crc32.Checksum(body, crcTable))
+		if _, err := DecodeResult(data); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("err = %v, want ErrCorrupt", err)
+		}
+	})
+	t.Run("foreign version", func(t *testing.T) {
+		// Bump the version varint (valid entries encode version 1 in one
+		// byte) and re-seal the checksum.
+		body := bytes.Clone(valid[:len(valid)-4])
+		body[len(resultMagic)] = resultVersion + 1
+		data := binary.LittleEndian.AppendUint32(body, crc32.Checksum(body, crcTable))
+		if _, err := DecodeResult(data); !errors.Is(err, ErrUnsupportedVersion) {
+			t.Errorf("err = %v, want ErrUnsupportedVersion", err)
+		}
+	})
+	t.Run("absurd counts", func(t *testing.T) {
+		// A sealed entry claiming 2^40 samples must be rejected by the
+		// count guard, not allocate.
+		buf := []byte(resultMagic)
+		buf = binary.AppendUvarint(buf, resultVersion)
+		buf = appendString(buf, "w")
+		buf = appendString(buf, "m")
+		buf = binary.AppendUvarint(buf, 100)   // period
+		buf = binary.AppendUvarint(buf, 1<<40) // sample count
+		data := binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, crcTable))
+		if _, err := DecodeResult(data); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("err = %v, want ErrCorrupt", err)
+		}
+	})
+}
+
+func FuzzDecodeResult(f *testing.F) {
+	res := &CollectResult{
+		Profile: &Profile{Workload: "w", Machine: "m", Period: 10, Samples: []Sample{
+			{EIP: 0x400040, Thread: 1, Counters: cpu.Counters{Insts: 10, Cycles: 15}},
+		}},
+		Counters: cpu.Counters{Insts: 10, Cycles: 15},
+		Seconds:  0.5,
+		BBV:      []BlockVector{{Index: 0, CPI: 1.5, Counts: map[uint64]int{0x400040: 3, 0x400080: 1}}},
+	}
+	f.Add(EncodeResult(res))
+	f.Add([]byte(resultMagic))
+	f.Add([]byte("FZPRjunk junk junk junk"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := DecodeResult(data) // must never panic
+		if err != nil {
+			return
+		}
+		// Anything that decodes must re-encode to the identical bytes.
+		if !bytes.Equal(EncodeResult(got), data) {
+			t.Fatal("decoded entry does not re-encode to input")
+		}
+	})
+}
+
+// --- satellite: Collect cancellation between setup phases ---
+
+// setupSpyWL records whether Setup ran, and can cancel a context from
+// inside Setup to model a request expiring during database build.
+type setupSpyWL struct {
+	setupRan bool
+	burstRan bool
+	onSetup  func()
+}
+
+func (*setupSpyWL) Name() string         { return "setup-spy" }
+func (*setupSpyWL) SamplePeriod() uint64 { return 100 }
+func (w *setupSpyWL) Setup(sched *osim.Sched, space *addr.Space, seed uint64) {
+	w.setupRan = true
+	if w.onSetup != nil {
+		w.onSetup()
+	}
+	code := workload.NewCodeRegion(space, "spy", 8)
+	sched.Add("spy", workload.NewRunner(workload.GenFunc(func(e *workload.Emitter) {
+		w.burstRan = true
+		e.EmitBlock(code.SeqPC(), 10, 0.5)
+	})))
+}
+
+func TestCollectCancelledBeforeSetup(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	w := &setupSpyWL{}
+	if _, err := Collect(w, CollectOptions{Ctx: ctx, Seed: 1, Intervals: 1}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if w.setupRan {
+		t.Fatal("Setup ran despite an already-expired context")
+	}
+}
+
+func TestCollectCancelledDuringSetup(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	w := &setupSpyWL{onSetup: cancel}
+	if _, err := Collect(w, CollectOptions{Ctx: ctx, Seed: 1, Intervals: 1}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if !w.setupRan {
+		t.Fatal("fixture broken: Setup did not run")
+	}
+	if w.burstRan {
+		t.Fatal("simulation ran despite the context expiring during Setup")
+	}
+}
+
+func TestEncodeResultHandlesNaNSeconds(t *testing.T) {
+	res := &CollectResult{Profile: &Profile{Workload: "w", Period: 1}, Seconds: math.NaN()}
+	got, err := DecodeResult(EncodeResult(res))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(got.Seconds) {
+		t.Fatalf("Seconds = %v, want NaN preserved bit-exactly", got.Seconds)
+	}
+}

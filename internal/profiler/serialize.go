@@ -15,6 +15,7 @@ import (
 
 // header is the first line of a serialized profile.
 type header struct {
+	Magic    string `json:"magic"`
 	Version  int    `json:"version"`
 	Workload string `json:"workload"`
 	Machine  string `json:"machine"`
@@ -22,14 +23,22 @@ type header struct {
 	Samples  int    `json:"samples"`
 }
 
-// formatVersion identifies the on-disk layout.
-const formatVersion = 1
+// profileMagic identifies the file type before any layout is assumed, so
+// a non-profile file (or a profile from a different tool) fails loudly
+// instead of decoding garbage.
+const profileMagic = "fuzzyphase-profile"
+
+// formatVersion identifies the on-disk layout. Version 2 added the magic
+// field; version-1 files (which predate it) are rejected like any other
+// unknown version.
+const formatVersion = 2
 
 // WriteTo serializes the profile. It returns the number of bytes written.
 func (p *Profile) WriteTo(w io.Writer) (int64, error) {
 	bw := &countingWriter{w: bufio.NewWriter(w)}
 	enc := json.NewEncoder(bw)
 	h := header{
+		Magic:    profileMagic,
 		Version:  formatVersion,
 		Workload: p.Workload,
 		Machine:  p.Machine,
@@ -54,8 +63,11 @@ func ReadProfile(r io.Reader) (*Profile, error) {
 	if err := dec.Decode(&h); err != nil {
 		return nil, fmt.Errorf("profiler: reading header: %w", err)
 	}
+	if h.Magic != profileMagic {
+		return nil, fmt.Errorf("profiler: not a fuzzyphase profile (magic %q)", h.Magic)
+	}
 	if h.Version != formatVersion {
-		return nil, fmt.Errorf("profiler: unsupported profile version %d", h.Version)
+		return nil, fmt.Errorf("profiler: unsupported profile version %d (this build reads version %d)", h.Version, formatVersion)
 	}
 	if h.Period == 0 {
 		return nil, fmt.Errorf("profiler: corrupt header: zero period")

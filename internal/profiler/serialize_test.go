@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"repro/internal/cpu"
 )
 
 func TestRoundTrip(t *testing.T) {
@@ -38,17 +40,86 @@ func TestRoundTrip(t *testing.T) {
 
 func TestReadRejectsGarbage(t *testing.T) {
 	cases := map[string]string{
-		"empty":       "",
-		"not json":    "hello\n",
-		"bad version": `{"version":99,"workload":"x","period":100,"samples":0}` + "\n",
-		"zero period": `{"version":1,"workload":"x","period":0,"samples":0}` + "\n",
-		"truncated":   `{"version":1,"workload":"x","period":100,"samples":3}` + "\n" + `{"EIP":1}` + "\n",
+		"empty":         "",
+		"not json":      "hello\n",
+		"missing magic": `{"version":2,"workload":"x","period":100,"samples":0}` + "\n",
+		"wrong magic":   `{"magic":"some-other-tool","version":2,"workload":"x","period":100,"samples":0}` + "\n",
+		"old version":   `{"magic":"fuzzyphase-profile","version":1,"workload":"x","period":100,"samples":0}` + "\n",
+		"bad version":   `{"magic":"fuzzyphase-profile","version":99,"workload":"x","period":100,"samples":0}` + "\n",
+		"zero period":   `{"magic":"fuzzyphase-profile","version":2,"workload":"x","period":0,"samples":0}` + "\n",
+		"truncated":     `{"magic":"fuzzyphase-profile","version":2,"workload":"x","period":100,"samples":3}` + "\n" + `{"EIP":1}` + "\n",
 	}
 	for name, in := range cases {
 		if _, err := ReadProfile(strings.NewReader(in)); err == nil {
 			t.Errorf("%s: no error", name)
 		}
 	}
+}
+
+// FuzzProfileRoundTrip drives WriteTo/ReadProfile with arbitrary profile
+// contents: everything WriteTo accepts must read back exactly.
+func FuzzProfileRoundTrip(f *testing.F) {
+	f.Add("w", "m", uint64(100), uint64(0x400000), 3, true, uint64(1000), uint64(1500))
+	f.Add("", "", uint64(1), uint64(0), 0, false, uint64(0), uint64(0))
+	f.Fuzz(func(t *testing.T, wl, machine string, period, eip uint64, thread int, kernel bool, insts, cycles uint64) {
+		if period == 0 {
+			period = 1 // zero period is rejected by design, not a round-trip case
+		}
+		// JSON cannot carry invalid UTF-8 (it becomes U+FFFD); workload and
+		// machine names are always valid UTF-8 in practice.
+		wl = strings.ToValidUTF8(wl, "?")
+		machine = strings.ToValidUTF8(machine, "?")
+		p := &Profile{Workload: wl, Machine: machine, Period: period}
+		for i := 0; i < 3; i++ {
+			p.Samples = append(p.Samples, Sample{
+				EIP:    eip + uint64(i),
+				Thread: thread,
+				Kernel: kernel,
+				Counters: cpu.Counters{
+					Insts:  insts * uint64(i+1),
+					Cycles: cycles * uint64(i+1),
+				},
+			})
+		}
+		var buf bytes.Buffer
+		if _, err := p.WriteTo(&buf); err != nil {
+			t.Fatalf("WriteTo: %v", err)
+		}
+		got, err := ReadProfile(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("ReadProfile: %v", err)
+		}
+		if got.Workload != p.Workload || got.Machine != p.Machine || got.Period != p.Period {
+			t.Fatalf("metadata: %+v vs %+v", got, p)
+		}
+		for i := range p.Samples {
+			if got.Samples[i] != p.Samples[i] {
+				t.Fatalf("sample %d: %+v vs %+v", i, got.Samples[i], p.Samples[i])
+			}
+		}
+	})
+}
+
+// FuzzReadProfile feeds ReadProfile arbitrary bytes: it must error or
+// succeed, never panic, and successes must re-serialize.
+func FuzzReadProfile(f *testing.F) {
+	p := &Profile{Workload: "w", Machine: "m", Period: 100, Samples: []Sample{{EIP: 1}}}
+	var buf bytes.Buffer
+	if _, err := p.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(`{"magic":"fuzzyphase-profile","version":2,"period":1,"samples":0}` + "\n"))
+	f.Add([]byte("{}\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadProfile(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if _, err := got.WriteTo(&bytes.Buffer{}); err != nil {
+			t.Fatalf("accepted profile fails to re-serialize: %v", err)
+		}
+	})
 }
 
 func TestEmptyProfileRoundTrip(t *testing.T) {

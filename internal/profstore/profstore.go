@@ -1,0 +1,441 @@
+// Package profstore is the content-addressed profile store: a three-tier
+// read path — in-memory LRU, on-disk entries, recompute — in front of the
+// simulation front-end (profiler.Collect), which dominates cold Analyze
+// time now that the analysis kernels are fast.
+//
+// Entries are keyed by a canonical hash of everything the collected
+// profile is a function of: workload name, the full machine configuration
+// (cpu.Config.Canonical, every field the simulator reads), the sampling
+// period override, the run length, and the BBV options. Anything that
+// cannot change the profile's bytes — trace workers, analysis parallelism,
+// downstream tree/fold settings — is deliberately excluded, so one stored
+// collection serves every analysis configuration over it (whole-system and
+// thread-separated EIPVs of the same run share one entry).
+//
+// Durability and failure behavior:
+//
+//   - Writes are atomic: encode, write to a temp file in the store
+//     directory, rename into place. Concurrent writers of the same key
+//     race benignly — the last rename wins and readers only ever observe
+//     a complete entry, never a torn one.
+//   - Reads are corruption-tolerant: a truncated, bit-rotted, or
+//     foreign-version entry fails its checksum/version gate, is removed,
+//     and the profile is recomputed and rewritten. The store never
+//     crashes on bad disk state and never serves it.
+//   - An unwritable directory degrades the store to its memory tier with
+//     one logged warning; reads are still attempted (a read-only shared
+//     store is a legitimate deployment).
+//
+// Concurrent Get calls for one key are deduplicated singleflight-style on
+// a flight-owned context, mirroring the experiment package's analyze
+// cache: a flight is cancelled only when its last waiter has detached,
+// and failed flights are never retained.
+package profstore
+
+import (
+	"container/list"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"repro/internal/cpu"
+	"repro/internal/profiler"
+)
+
+// entryExt is the on-disk entry suffix ("fuzzyphase profile").
+const entryExt = ".fzp"
+
+// keyFormat versions the canonical key string itself: bump it if the key
+// grammar changes, so old entries become unreachable rather than aliased.
+const keyFormat = "fzpk1"
+
+// Key identifies one collection run: every CollectOptions field that can
+// change the profile's bytes, plus the workload name.
+type Key struct {
+	Workload         string
+	Machine          cpu.Config
+	Seed             uint64
+	Intervals        int
+	PeriodOverride   uint64
+	BuildBBV         bool
+	BBVIntervalInsts uint64
+}
+
+// Canonical renders the key as a stable string: two Keys collide iff the
+// collections they describe are byte-identical by construction.
+func (k Key) Canonical() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s|w=%s|seed=%d|iv=%d|po=%d|bbv=%t|bi=%d|",
+		keyFormat, k.Workload, k.Seed, k.Intervals, k.PeriodOverride, k.BuildBBV, k.BBVIntervalInsts)
+	b.WriteString(k.Machine.Canonical())
+	return b.String()
+}
+
+// Hash returns the content address: a hex digest of the canonical form,
+// used as the entry filename.
+func (k Key) Hash() string {
+	sum := sha256.Sum256([]byte(k.Canonical()))
+	return hex.EncodeToString(sum[:16])
+}
+
+// Stats is a snapshot of the store counters.
+type Stats struct {
+	// MemHits counts Gets answered from the in-memory tier.
+	MemHits uint64
+	// DiskHits counts Gets answered by decoding an on-disk entry.
+	DiskHits uint64
+	// Misses counts Gets that had to run the simulation.
+	Misses uint64
+	// Shared counts Gets that joined another caller's in-flight collection.
+	Shared uint64
+	// Writes counts entries persisted to disk, and BytesWritten their
+	// total encoded size.
+	Writes       uint64
+	BytesWritten uint64
+	// WriteFailures counts failed persistence attempts (after the first,
+	// writes are disabled and the store degrades to memory-only).
+	WriteFailures uint64
+	// Corruptions counts on-disk entries that failed checksum/structure
+	// validation and were removed and recomputed.
+	Corruptions uint64
+	// Entries is the number of results currently retained in memory;
+	// CapEntries the memory-tier cap (0 = unbounded).
+	Entries    int
+	CapEntries int
+	// Dir is the disk tier's directory ("" = memory-only).
+	Dir string
+}
+
+// String renders the stats as a one-line summary.
+func (s Stats) String() string {
+	dir := s.Dir
+	if dir == "" {
+		dir = "memory-only"
+	}
+	return fmt.Sprintf("profile store: %d mem hits, %d disk hits, %d misses, %d shared flights, %d writes (%.1f MiB), %d corruptions, %d live entries, dir=%s",
+		s.MemHits, s.DiskHits, s.Misses, s.Shared, s.Writes,
+		float64(s.BytesWritten)/(1<<20), s.Corruptions, s.Entries, dir)
+}
+
+// flight is one store slot: done is closed when the collection resolves,
+// after which res/err are immutable. The mutable fields are guarded by the
+// owning store's mutex.
+type flight struct {
+	key     string
+	done    chan struct{}
+	res     *profiler.CollectResult
+	err     error
+	waiters int
+	aborted bool
+	cancel  context.CancelFunc
+	elem    *list.Element // memory-tier LRU node while retained
+}
+
+// Store is the three-tier profile store. The zero value is not usable;
+// call New.
+type Store struct {
+	mu      sync.Mutex
+	dir     string
+	noWrite bool // set after the first write failure
+	logf    func(format string, args ...any)
+	entries map[string]*flight
+	lru     *list.List // retained flights; front = most recently used
+	cap     int        // memory-tier entry cap; 0 = unbounded
+
+	memHits, diskHits, misses, shared   uint64
+	writes, bytesWritten, writeFailures uint64
+	corruptions                         uint64
+}
+
+// New returns a memory-only store; SetDir attaches the disk tier.
+func New() *Store {
+	return &Store{
+		logf:    func(string, ...any) {},
+		entries: map[string]*flight{},
+		lru:     list.New(),
+	}
+}
+
+// SetLogf installs the warning sink (nil silences it).
+func (s *Store) SetLogf(f func(format string, args ...any)) {
+	if f == nil {
+		f = func(string, ...any) {}
+	}
+	s.mu.Lock()
+	s.logf = f
+	s.mu.Unlock()
+}
+
+// SetDir attaches (or with "" detaches) the on-disk tier, creating the
+// directory if needed. Attaching re-enables writes after a degrade.
+func (s *Store) SetDir(dir string) error {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("profstore: %w", err)
+		}
+	}
+	s.mu.Lock()
+	s.dir = dir
+	s.noWrite = false
+	s.mu.Unlock()
+	return nil
+}
+
+// SetMemCap bounds the memory tier to at most n entries (LRU eviction;
+// n <= 0 removes the bound) and returns the previous cap.
+func (s *Store) SetMemCap(n int) int {
+	if n < 0 {
+		n = 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	prev := s.cap
+	s.cap = n
+	s.evictLocked()
+	return prev
+}
+
+// DropMemory empties the memory tier (disk entries are untouched).
+// In-flight collections finish for their waiters but are not re-admitted.
+func (s *Store) DropMemory() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.entries = map[string]*flight{}
+	s.lru = list.New()
+}
+
+// Stats returns a snapshot of the store counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		MemHits:       s.memHits,
+		DiskHits:      s.diskHits,
+		Misses:        s.misses,
+		Shared:        s.shared,
+		Writes:        s.writes,
+		BytesWritten:  s.bytesWritten,
+		WriteFailures: s.writeFailures,
+		Corruptions:   s.corruptions,
+		Entries:       s.lru.Len(),
+		CapEntries:    s.cap,
+		Dir:           s.dir,
+	}
+}
+
+// Get returns the collection for key, reading through the tiers: memory,
+// then disk, then compute. compute runs on a flight-owned context that is
+// cancelled only when every waiter has detached; concurrent Gets for the
+// same key share one flight. The returned result is shared between callers
+// and must be treated as immutable.
+func (s *Store) Get(ctx context.Context, key Key, compute func(context.Context) (*profiler.CollectResult, error)) (*profiler.CollectResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	ck := key.Hash()
+
+	s.mu.Lock()
+	if f, ok := s.entries[ck]; ok {
+		select {
+		case <-f.done:
+			// Completed entries found in the map are always retained
+			// successes (failed flights are removed before done closes).
+			s.memHits++
+			if f.elem != nil {
+				s.lru.MoveToFront(f.elem)
+			}
+			s.mu.Unlock()
+			return f.res, f.err
+		default:
+			if !f.aborted {
+				s.shared++
+				f.waiters++
+				s.mu.Unlock()
+				return s.wait(ctx, f)
+			}
+			// Doomed flight (abandoned by all waiters): replace it.
+		}
+	}
+	fctx, cancel := context.WithCancel(context.Background())
+	f := &flight{key: ck, done: make(chan struct{}), waiters: 1, cancel: cancel}
+	s.entries[ck] = f
+	s.mu.Unlock()
+
+	go func() {
+		res, fromDisk, err := s.resolve(fctx, ck, compute)
+		s.finish(f, res, err, fromDisk)
+	}()
+	return s.wait(ctx, f)
+}
+
+// resolve reads the disk tier and falls back to compute. A successful
+// compute is persisted before the result is published.
+func (s *Store) resolve(fctx context.Context, ck string, compute func(context.Context) (*profiler.CollectResult, error)) (*profiler.CollectResult, bool, error) {
+	if res, ok := s.readDisk(ck); ok {
+		return res, true, nil
+	}
+	res, err := compute(fctx)
+	if err != nil {
+		return nil, false, err
+	}
+	s.writeDisk(ck, res)
+	return res, false, nil
+}
+
+// wait blocks until f resolves or ctx expires. An expired waiter detaches;
+// the last waiter to detach aborts the flight.
+func (s *Store) wait(ctx context.Context, f *flight) (*profiler.CollectResult, error) {
+	select {
+	case <-f.done:
+		return f.res, f.err
+	case <-ctx.Done():
+		s.mu.Lock()
+		select {
+		case <-f.done:
+			s.mu.Unlock()
+			return f.res, f.err
+		default:
+		}
+		f.waiters--
+		if f.waiters == 0 {
+			f.aborted = true
+			f.cancel()
+		}
+		s.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
+// finish publishes a flight's outcome and maintains the memory tier;
+// failed flights are removed before done closes, under the same lock that
+// admits waiters.
+func (s *Store) finish(f *flight, res *profiler.CollectResult, err error, fromDisk bool) {
+	f.res, f.err = res, err
+	s.mu.Lock()
+	if err == nil {
+		if fromDisk {
+			s.diskHits++
+		} else {
+			s.misses++
+		}
+	}
+	if s.entries[f.key] == f {
+		if err == nil {
+			f.elem = s.lru.PushFront(f)
+			s.evictLocked()
+		} else {
+			delete(s.entries, f.key)
+		}
+	}
+	close(f.done)
+	s.mu.Unlock()
+	f.cancel()
+}
+
+// evictLocked trims the memory tier to the cap. Caller holds s.mu.
+func (s *Store) evictLocked() {
+	if s.cap <= 0 {
+		return
+	}
+	for s.lru.Len() > s.cap {
+		e := s.lru.Back()
+		victim := e.Value.(*flight)
+		s.lru.Remove(e)
+		victim.elem = nil
+		if s.entries[victim.key] == victim {
+			delete(s.entries, victim.key)
+		}
+	}
+}
+
+// readDisk attempts the disk tier. Corrupt or foreign-version entries are
+// counted, logged, removed, and reported as a miss so the caller
+// recomputes and overwrites.
+func (s *Store) readDisk(ck string) (*profiler.CollectResult, bool) {
+	s.mu.Lock()
+	dir := s.dir
+	s.mu.Unlock()
+	if dir == "" {
+		return nil, false
+	}
+	path := filepath.Join(dir, ck+entryExt)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if !errors.Is(err, fs.ErrNotExist) {
+			s.warnf("profile store: reading %s: %v", path, err)
+		}
+		return nil, false
+	}
+	res, err := profiler.DecodeResult(data)
+	if err != nil {
+		s.mu.Lock()
+		s.corruptions++
+		s.mu.Unlock()
+		s.warnf("profile store: %s: %v (recomputing and overwriting)", path, err)
+		_ = os.Remove(path)
+		return nil, false
+	}
+	return res, true
+}
+
+// writeDisk persists an entry atomically (temp file + rename). The first
+// failure disables further writes — the store degrades to memory-only —
+// with one logged warning.
+func (s *Store) writeDisk(ck string, res *profiler.CollectResult) {
+	s.mu.Lock()
+	dir, disabled := s.dir, s.noWrite
+	s.mu.Unlock()
+	if dir == "" || disabled {
+		return
+	}
+	data := profiler.EncodeResult(res)
+	tmp, err := os.CreateTemp(dir, "."+ck+".tmp-*")
+	if err != nil {
+		s.disableWrites(err)
+		return
+	}
+	_, werr := tmp.Write(data)
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp.Name(), filepath.Join(dir, ck+entryExt))
+	}
+	if werr != nil {
+		_ = os.Remove(tmp.Name())
+		s.disableWrites(werr)
+		return
+	}
+	s.mu.Lock()
+	s.writes++
+	s.bytesWritten += uint64(len(data))
+	s.mu.Unlock()
+}
+
+func (s *Store) disableWrites(err error) {
+	s.mu.Lock()
+	s.writeFailures++
+	first := !s.noWrite
+	s.noWrite = true
+	s.mu.Unlock()
+	if first {
+		s.warnf("profile store: disk write failed: %v — degrading to memory-only (reads still attempted)", err)
+	}
+}
+
+func (s *Store) warnf(format string, args ...any) {
+	s.mu.Lock()
+	logf := s.logf
+	s.mu.Unlock()
+	logf(format, args...)
+}

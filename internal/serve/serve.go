@@ -40,6 +40,7 @@ import (
 	fuzzyphase "repro"
 	"repro/internal/experiment"
 	"repro/internal/metrics"
+	"repro/internal/profstore"
 )
 
 // Config tunes the service.
@@ -51,7 +52,14 @@ type Config struct {
 	Base experiment.Options
 	// CacheEntries bounds the Analyze memoization cache (LRU entries;
 	// 0 = unbounded). Applied at construction via SetAnalysisCacheCap.
+	// The profile store's in-memory tier is capped to the same count.
 	CacheEntries int
+	// ProfileDir, if nonempty, attaches a persistent profile store: every
+	// collected profile is content-addressed there and reused across
+	// restarts (and other processes sharing the directory). An unusable
+	// directory is logged and the store degrades to memory-only — serving
+	// is never blocked on it.
+	ProfileDir string
 	// RequestTimeout, if nonzero, is the per-request deadline. A request
 	// may lower it with ?timeout=, never raise it.
 	RequestTimeout time.Duration
@@ -88,6 +96,13 @@ func New(cfg Config) *Server {
 	}
 	if cfg.CacheEntries > 0 {
 		experiment.SetAnalysisCacheCap(cfg.CacheEntries)
+		experiment.SetProfileMemCap(cfg.CacheEntries)
+	}
+	experiment.SetProfileLogf(cfg.Logf)
+	if cfg.ProfileDir != "" {
+		if err := experiment.SetProfileDir(cfg.ProfileDir); err != nil {
+			cfg.Logf("profile store: %v — continuing memory-only", err)
+		}
 	}
 
 	s := &Server{cfg: cfg, mux: http.NewServeMux(), reg: metrics.NewRegistry()}
@@ -134,6 +149,30 @@ func New(cfg Config) *Server {
 	s.reg.Gauge("fuzzyphase_analyze_cache_entry_cap",
 		"Configured cache entry cap (0 = unbounded).",
 		cache(func(st experiment.CacheStats) float64 { return float64(st.CapEntries) }))
+	store := func(f func(st profstore.Stats) float64) func() float64 {
+		return func() float64 { return f(experiment.ProfileStoreStats()) }
+	}
+	s.reg.CounterFunc("fuzzyphase_profilestore_hits",
+		"Profile collections served from the store's in-memory tier.",
+		store(func(st profstore.Stats) float64 { return float64(st.MemHits) }))
+	s.reg.CounterFunc("fuzzyphase_profilestore_disk_hits",
+		"Profile collections decoded from the store's on-disk tier.",
+		store(func(st profstore.Stats) float64 { return float64(st.DiskHits) }))
+	s.reg.CounterFunc("fuzzyphase_profilestore_misses",
+		"Profile collections that had to run the simulator.",
+		store(func(st profstore.Stats) float64 { return float64(st.Misses) }))
+	s.reg.CounterFunc("fuzzyphase_profilestore_writes",
+		"Profile entries persisted to disk.",
+		store(func(st profstore.Stats) float64 { return float64(st.Writes) }))
+	s.reg.CounterFunc("fuzzyphase_profilestore_corruptions",
+		"On-disk entries that failed validation and were recomputed.",
+		store(func(st profstore.Stats) float64 { return float64(st.Corruptions) }))
+	s.reg.CounterFunc("fuzzyphase_profilestore_bytes",
+		"Total encoded bytes persisted to the profile store.",
+		store(func(st profstore.Stats) float64 { return float64(st.BytesWritten) }))
+	s.reg.Gauge("fuzzyphase_profilestore_entries",
+		"Profile collections currently retained in memory.",
+		store(func(st profstore.Stats) float64 { return float64(st.Entries) }))
 	s.reg.Gauge("fuzzyphase_goroutines", "Live goroutines.",
 		func() float64 { return float64(runtime.NumGoroutine()) })
 
@@ -377,6 +416,7 @@ func (s *Server) handleQuadrants(ctx context.Context, r *http.Request, buf *byte
 
 func (s *Server) handleCacheStats(_ context.Context, _ *http.Request, buf *bytes.Buffer) error {
 	fmt.Fprintln(buf, experiment.AnalysisCacheStats())
+	fmt.Fprintln(buf, experiment.ProfileStoreStats())
 	return nil
 }
 
@@ -397,6 +437,9 @@ func (s *Server) serve(ctx context.Context, ln net.Listener) error {
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	s.cfg.Logf("serving on http://%s (cache cap %d entries)", ln.Addr(), s.cfg.CacheEntries)
+	if s.cfg.ProfileDir != "" {
+		s.cfg.Logf("profile store: persistent tier at %s", s.cfg.ProfileDir)
+	}
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
@@ -416,6 +459,7 @@ func (s *Server) serve(ctx context.Context, ln net.Listener) error {
 		_ = srv.Close()
 	}
 	<-errc // srv.Serve has returned http.ErrServerClosed
-	s.cfg.Logf("shutdown complete")
+	s.cfg.Logf("shutdown complete (%s; %s)",
+		experiment.AnalysisCacheStats(), experiment.ProfileStoreStats())
 	return err
 }

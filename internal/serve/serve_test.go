@@ -23,8 +23,13 @@ func newTestServer(t *testing.T, cfg Config) *httptest.Server {
 	t.Cleanup(ts.Close)
 	t.Cleanup(func() {
 		// Serve tests may bound or populate the process-wide cache; leave it
-		// unbounded and empty for whoever runs next in this binary.
+		// unbounded and empty for whoever runs next in this binary. The same
+		// goes for the profile store's memory tier (serve caps it alongside
+		// the Analyze cache).
 		experiment.SetAnalysisCacheCap(0)
+		experiment.SetProfileMemCap(0)
+		experiment.SetProfileLogf(nil)
+		_ = experiment.SetProfileDir("")
 		experiment.InvalidateAnalysisCache()
 	})
 	return ts
@@ -173,6 +178,13 @@ func TestMetricsEndpoint(t *testing.T) {
 		"fuzzyphase_analyze_cache_in_flight",
 		"fuzzyphase_analyze_cache_entries",
 		"fuzzyphase_requests_in_flight",
+		"fuzzyphase_profilestore_hits",
+		"fuzzyphase_profilestore_disk_hits",
+		"fuzzyphase_profilestore_misses",
+		"fuzzyphase_profilestore_writes",
+		"fuzzyphase_profilestore_corruptions",
+		"fuzzyphase_profilestore_bytes",
+		"fuzzyphase_profilestore_entries",
 	} {
 		if !strings.Contains(body, series) {
 			t.Errorf("/metrics missing %q", series)
@@ -195,7 +207,8 @@ func TestAuxiliaryEndpoints(t *testing.T) {
 	if code != 200 || !strings.Contains(body, "spec.gzip") || !strings.Contains(body, "odb-h.q13") {
 		t.Errorf("/workloads = %d, missing expected names:\n%s", code, body)
 	}
-	if code, body := get(t, ts.URL+"/cache/stats"); code != 200 || !strings.Contains(body, "analyze cache:") {
+	if code, body := get(t, ts.URL+"/cache/stats"); code != 200 || !strings.Contains(body, "analyze cache:") ||
+		!strings.Contains(body, "profile store:") {
 		t.Errorf("/cache/stats = %d %q", code, body)
 	}
 	if code, _ := get(t, ts.URL+"/debug/pprof/cmdline"); code != 200 {
@@ -244,5 +257,47 @@ func TestGracefulShutdown(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("server did not shut down")
+	}
+}
+
+// TestProfileDirWarmRestart: a second server pointed at the same profile
+// directory must serve a cold-cache analysis from the disk tier — the
+// "fleet restart" scenario the store exists for — with a byte-identical
+// body.
+func TestProfileDirWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+
+	ts := newTestServer(t, Config{ProfileDir: dir})
+	experiment.InvalidateAnalysisCache()
+	before := experiment.ProfileStoreStats()
+	code, cold := get(t, ts.URL+"/analyze/spec.gzip?"+fastQuery)
+	if code != http.StatusOK {
+		t.Fatalf("cold analyze: %d", code)
+	}
+	st := experiment.ProfileStoreStats()
+	if st.Writes != before.Writes+1 {
+		t.Fatalf("cold analyze wrote %d entries, want 1", st.Writes-before.Writes)
+	}
+	ts.Close()
+
+	// "Restart": fresh server, empty in-process caches, same directory.
+	experiment.InvalidateAnalysisCache()
+	ts2 := newTestServer(t, Config{ProfileDir: dir})
+	code, warm := get(t, ts2.URL+"/analyze/spec.gzip?"+fastQuery)
+	if code != http.StatusOK {
+		t.Fatalf("warm analyze: %d", code)
+	}
+	if warm != cold {
+		t.Fatal("disk-warm response differs from cold response")
+	}
+	st2 := experiment.ProfileStoreStats()
+	if st2.DiskHits != st.DiskHits+1 {
+		t.Fatalf("disk hits %d→%d, want +1", st.DiskHits, st2.DiskHits)
+	}
+
+	// /metrics reflects the store counters.
+	_, body := get(t, ts2.URL+"/metrics")
+	if !strings.Contains(body, "fuzzyphase_profilestore_disk_hits") {
+		t.Error("/metrics missing profile store series")
 	}
 }

@@ -116,13 +116,15 @@ func (w *Workload) Setup(sched *osim.Sched, space *addr.Space, seed uint64) {
 		}
 		g.data = append(g.data, space.AllocData(fmt.Sprintf("%s.data%d", w.prof.Name, i), size))
 	}
-	sched.Add(w.prof.Name, workload.NewRunner(g))
+	// The phase-graph generator touches only its own regions and RNG, so
+	// its trace can be generated ahead of retirement.
+	sched.Add(w.prof.Name, workload.NewIndependentRunner(g))
 
 	// Background daemon: briefly wakes a few hundred times per simulated
 	// second, reproducing SPEC's low but nonzero context-switch rate.
 	daemonCode := workload.NewCodeRegion(space, w.prof.Name+".daemon", 64)
 	drng := rng.Split(0xdae)
-	sched.Add(w.prof.Name+".daemon", workload.NewRunner(workload.GenFunc(func(e *workload.Emitter) {
+	sched.Add(w.prof.Name+".daemon", workload.NewIndependentRunner(workload.GenFunc(func(e *workload.Emitter) {
 		for i := 0; i < 6; i++ {
 			e.EmitBlock(daemonCode.SeqPC(), 12, 0.8)
 		}

@@ -220,6 +220,124 @@ func (r *genRunner) Step(ev *cpu.BlockEvent) (osim.Action, uint64) {
 	}
 }
 
+// Lookahead tuning: producers hand chunks of this many items to the
+// scheduler over a channel buffered this many chunks deep, bounding each
+// thread's generation lead while amortizing the handoff cost.
+const (
+	lookaheadChunk = 2048
+	lookaheadDepth = 4
+)
+
+// lookaheadRunner adapts a *trace-independent* Gen to the scheduler. Until
+// StartLookahead is called it behaves exactly like the inline genRunner;
+// afterwards a producer goroutine runs the Gen ahead of retirement and the
+// scheduler consumes buffered chunks in generation order, so the delivered
+// stream is identical either way.
+type lookaheadRunner struct {
+	inner genRunner
+
+	ch   chan []item
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	cur []item
+	idx int
+}
+
+// NewIndependentRunner wraps a burst generator whose output is provably
+// thread-local — it must not read or mutate state shared with any other
+// thread (CodeRegion walk cursors, allocators, RNGs), and its emitted
+// events and waits must not depend on simulated time. Such a generator's
+// trace can be produced ahead of retirement on a background goroutine
+// (osim.Sched.SetTraceWorkers) without changing a single byte of the
+// profile. Generators that share state (the OLTP clients, the appserver
+// workers, multi-worker DSS queries) must use NewRunner instead.
+func NewIndependentRunner(g Gen) osim.Runner {
+	return &lookaheadRunner{inner: genRunner{gen: g}}
+}
+
+// Step implements osim.Runner.
+func (r *lookaheadRunner) Step(ev *cpu.BlockEvent) (osim.Action, uint64) {
+	if r.ch == nil {
+		return r.inner.Step(ev)
+	}
+	for {
+		if r.idx < len(r.cur) {
+			it := r.cur[r.idx]
+			r.idx++
+			if it.wait > 0 {
+				return osim.ActionBlock, it.wait
+			}
+			*ev = it.ev
+			return osim.ActionRun, 0
+		}
+		chunk, ok := <-r.ch
+		if !ok {
+			return osim.ActionDone, 0
+		}
+		r.cur, r.idx = chunk, 0
+	}
+}
+
+// StartLookahead implements osim.TraceBuffered. It must be called before
+// the first Step; calling it twice is a no-op.
+func (r *lookaheadRunner) StartLookahead(pool *osim.TracePool) {
+	if r.ch != nil {
+		return
+	}
+	r.ch = make(chan []item, lookaheadDepth)
+	r.stop = make(chan struct{})
+	r.wg.Add(1)
+	go r.produce(pool)
+}
+
+// StopLookahead implements osim.TraceBuffered: it terminates the producer
+// and waits for it, after which the generator state is safe to touch again.
+func (r *lookaheadRunner) StopLookahead() {
+	if r.ch == nil {
+		return
+	}
+	close(r.stop)
+	for range r.ch { // unblock a producer parked on a full channel
+	}
+	r.wg.Wait()
+}
+
+// produce runs the generator ahead of retirement, shipping copied chunks.
+// The pool slot is held only while bursting, so many threads can take
+// turns generating under a small worker bound.
+func (r *lookaheadRunner) produce(pool *osim.TracePool) {
+	defer r.wg.Done()
+	defer close(r.ch)
+	var em Emitter
+	for !em.done {
+		if !pool.Acquire(r.stop) {
+			return
+		}
+		chunk := make([]item, 0, lookaheadChunk)
+		for !em.done && len(chunk) < lookaheadChunk {
+			r.inner.gen.Burst(&em)
+			if !em.done && len(em.items) == 0 {
+				panic("workload: Burst made no progress")
+			}
+			// Drain after every burst: generators are entitled to see the
+			// emitter as the inline runner shows it — fully consumed
+			// (Pending() == 0) with only InstsEmitted carried forward.
+			chunk = append(chunk, em.items...)
+			em.items = em.items[:0]
+			em.head = 0
+		}
+		pool.Release()
+		if len(chunk) > 0 {
+			select {
+			case r.ch <- chunk:
+			case <-r.stop:
+				return
+			}
+		}
+	}
+}
+
 // Workload is a complete benchmark: it builds its threads onto a scheduler
 // and declares its preferred profiler sampling period.
 type Workload interface {
