@@ -1,7 +1,7 @@
 # Tier-1 verification plus race/vet hygiene in one command: `make check`.
 GO ?= go
 
-.PHONY: build test race vet bench benchjson benchjson-kmeans benchjson-profiler check results verify-results verify-results-store serve-smoke
+.PHONY: build test race vet bench benchjson benchjson-kmeans benchjson-profiler benchjson-collect check results verify-results verify-results-store serve-smoke
 
 build:
 	$(GO) build ./...
@@ -42,6 +42,15 @@ benchjson-profiler:
 		-benchtime 5x -timeout 30m ./internal/profstore/ \
 		| $(GO) run ./cmd/benchjson > BENCH_profiler.json
 	@cat BENCH_profiler.json
+
+# Machine-readable cold-collection benchmark numbers: the batched
+# retirement pipeline vs the scalar reference path, one workload per
+# paper family. Both paths produce byte-identical profiles (the encode
+# oracle in internal/profiler/oracle_test.go proves it), so the delta is
+# pure collection speed.
+benchjson-collect:
+	$(GO) test -run '^$$' -bench 'Collect(Scalar|Batched)' -benchmem 		-benchtime 5x -timeout 30m ./internal/profiler/ 		| $(GO) run ./cmd/benchjson > BENCH_collect.json
+	@cat BENCH_collect.json
 
 # Regenerate the archived paper artifacts in results/ (seed 1, 320
 # intervals, itanium2 — the defaults baked into `fuzzyphase results`).

@@ -23,6 +23,10 @@
 //	-profile-dir D persistent profile store (default $FUZZYPHASE_PROFILE_DIR);
 //	               collected profiles are content-addressed and reused across
 //	               runs — output is byte-identical with or without the store
+//	-trace-workers N lookahead trace-generation goroutines per cold
+//	               collection (default $FUZZYPHASE_TRACE_WORKERS; 0 follows
+//	               -parallel, negative forces inline generation; output is
+//	               byte-identical at any setting)
 //	-cachestats    print Analyze memoization stats to stderr on exit
 //	-cpuprofile F  write a CPU profile to F
 //	-memprofile F  write a heap profile to F on exit
@@ -80,7 +84,7 @@ commands:
   serve                        run the analysis engine as an HTTP service
 
 flags (after positional args): -seed -intervals -machine -threads -parallel
-  -profile-dir -cachestats -cpuprofile -memprofile -pprof
+  -profile-dir -trace-workers -cachestats -cpuprofile -memprofile -pprof
 serve flags: -addr -cache-entries -timeout -grace
 
   -parallel N runs the analysis engine on N worker goroutines (0, the
@@ -90,7 +94,12 @@ serve flags: -addr -cache-entries -timeout -grace
   -profile-dir D (default $FUZZYPHASE_PROFILE_DIR) keeps collected
   profiles in a persistent content-addressed store: reruns read the
   simulation's output from disk instead of re-simulating, with
-  byte-identical results.`)
+  byte-identical results.
+
+  -trace-workers N (default $FUZZYPHASE_TRACE_WORKERS) sets the lookahead
+  trace-generation goroutines used per cold collection: 0 follows
+  -parallel, negative forces inline generation. Like -parallel it never
+  changes output bytes, only wall-clock.`)
 	os.Exit(2)
 }
 
@@ -116,6 +125,8 @@ func main() {
 	cachestats := fs.Bool("cachestats", false, "print Analyze cache stats to stderr on exit")
 	profileDir := fs.String("profile-dir", os.Getenv("FUZZYPHASE_PROFILE_DIR"),
 		"persistent profile store directory (default $FUZZYPHASE_PROFILE_DIR; empty = memory-only)")
+	traceWorkers := fs.Int("trace-workers", envInt("FUZZYPHASE_TRACE_WORKERS"),
+		"lookahead trace-generation goroutines per cold collection (default $FUZZYPHASE_TRACE_WORKERS; 0 = follow -parallel, negative = inline)")
 	csv := fs.Bool("csv", false, "emit raw CSV instead of a text summary (figures 2,3,8,9,10,11)")
 	addr := fs.String("addr", ":8080", "serve: listen address")
 	cacheEntries := fs.Int("cache-entries", 64, "serve: Analyze LRU cache cap in entries (0 = unbounded)")
@@ -145,6 +156,7 @@ func main() {
 		Machine:         mcfg,
 		ThreadSeparated: *threads,
 		Parallelism:     *parallel,
+		TraceWorkers:    *traceWorkers,
 	}
 	if *profileDir != "" {
 		if err := fuzzyphase.SetProfileDir(*profileDir); err != nil {
@@ -158,6 +170,8 @@ func main() {
 		defer func() {
 			fmt.Fprintln(os.Stderr, "#", fuzzyphase.AnalysisCacheStats())
 			fmt.Fprintln(os.Stderr, "#", fuzzyphase.ProfileStoreStats())
+			fmt.Fprintf(os.Stderr, "# mem refs dropped (BlockEvent truncation): %d\n",
+				profiler.MemRefsDroppedTotal())
 		}()
 	}
 
@@ -415,6 +429,21 @@ func figureCSV(id int, opt fuzzyphase.Options) error {
 		return fmt.Errorf("no CSV form for figure %d (available: 2, 3, 8, 9, 10, 11)", id)
 	}
 	return nil
+}
+
+// envInt reads an integer environment variable for a flag default; unset
+// or malformed values fall back to 0 (the flag's own default semantics).
+func envInt(name string) int {
+	v := os.Getenv(name)
+	if v == "" {
+		return 0
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fuzzyphase: ignoring $%s=%q: not an integer\n", name, v)
+		return 0
+	}
+	return n
 }
 
 func atoi(pos []string) int {

@@ -35,6 +35,11 @@ const (
 	// CodeAlign is the alignment of allocated code regions; keeping
 	// regions aligned makes EIP→region attribution trivial.
 	CodeAlign Address = 0x1000
+
+	// BlockBytes is the byte spacing of basic blocks inside code regions:
+	// every workload emits block PCs on 64-byte boundaries, so each code
+	// region of size S contains S/BlockBytes internable blocks.
+	BlockBytes = 64
 )
 
 // IsKernel reports whether pc lies in the simulated kernel text range.
@@ -69,6 +74,13 @@ type Space struct {
 	nextCode   Address
 	nextData   Address
 	regions    []Region // sorted by Base
+
+	// Block interning: every code region (user and kernel) is assigned a
+	// dense range of int32 block ids at allocation time, one id per
+	// BlockBytes of the region, in allocation order. The ids let hot-loop
+	// accumulators index slices instead of hashing 64-bit PCs.
+	nextBlockID int32
+	idBases     map[Address]int32 // region base -> first block id
 }
 
 // NewSpace returns an empty address space with the standard layout.
@@ -92,6 +104,7 @@ func (s *Space) AllocCode(name string, size uint64) Region {
 	}
 	base := align(s.nextCode, CodeAlign)
 	s.nextCode = base + Address(size)
+	s.internRegion(base, size)
 	return s.insert(Region{Name: name, Base: base, Size: size})
 }
 
@@ -102,7 +115,51 @@ func (s *Space) AllocKernelCode(name string, size uint64) Region {
 	}
 	base := align(s.nextKernel, CodeAlign)
 	s.nextKernel = base + Address(size)
+	s.internRegion(base, size)
 	return s.insert(Region{Name: name, Base: base, Size: size})
+}
+
+// internRegion assigns the next dense block-id range to a code region.
+func (s *Space) internRegion(base Address, size uint64) {
+	if s.idBases == nil {
+		s.idBases = make(map[Address]int32, 16)
+	}
+	s.idBases[base] = s.nextBlockID
+	s.nextBlockID += int32((size + BlockBytes - 1) / BlockBytes)
+}
+
+// NumBlockIDs returns the number of interned block ids: every id handed out
+// so far is in [0, NumBlockIDs).
+func (s *Space) NumBlockIDs() int { return int(s.nextBlockID) }
+
+// BlockIDBase returns the first block id of the code region allocated at
+// base. It panics if base is not the base address of a code region of this
+// space (a programming error: ids exist only for AllocCode/AllocKernelCode
+// regions).
+func (s *Space) BlockIDBase(base Address) int32 {
+	id, ok := s.idBases[base]
+	if !ok {
+		panic(fmt.Sprintf("addr: BlockIDBase(%#x): not a code region base", base))
+	}
+	return id
+}
+
+// BlockPCs returns the id -> PC table for every interned block: element i
+// is the 64-byte-aligned address of the block with id i. The table is
+// rebuilt on each call; callers cache it for the duration of a run.
+func (s *Space) BlockPCs() []uint64 {
+	pcs := make([]uint64, s.nextBlockID)
+	for base, first := range s.idBases {
+		r, ok := s.Find(base)
+		if !ok {
+			panic(fmt.Sprintf("addr: interned region at %#x missing", base))
+		}
+		n := int32((r.Size + BlockBytes - 1) / BlockBytes)
+		for i := int32(0); i < n; i++ {
+			pcs[first+i] = base + uint64(i)*BlockBytes
+		}
+	}
+	return pcs
 }
 
 // AllocData reserves size bytes of data space and returns the region.

@@ -22,7 +22,6 @@ import (
 	"fmt"
 
 	"repro/internal/addr"
-	"repro/internal/cpu"
 	"repro/internal/osim"
 	"repro/internal/workload"
 	"repro/internal/xrand"
@@ -136,20 +135,19 @@ type worker struct {
 	rng     *xrand.Rand
 	reqBase uint64 // current request's session object
 	gcSeen  int    // last GC epoch this worker contributed to
-	ev      cpu.BlockEvent
 }
 
-func (k *worker) emit(e *workload.Emitter, pc uint64, insts int, baseCPI float64, mem uint64, write bool) {
-	k.ev.Reset()
-	k.ev.PC = pc
-	k.ev.Insts = insts
-	k.ev.BaseCPI = baseCPI
+func (k *worker) emit(e *workload.Emitter, b workload.BlockRef, insts int, baseCPI float64, mem uint64, write bool) {
+	ev := e.Alloc()
+	b.Assign(ev)
+	ev.Insts = int32(insts)
+	ev.BaseCPI = baseCPI
 	if mem != 0 {
-		k.ev.AddMem(mem, write)
+		ev.AddMem(mem, write)
 	}
-	k.ev.HasBranch = true
-	k.ev.Taken = k.rng.Bool(0.55)
-	e.Emit(&k.ev)
+	ev.HasBranch = true
+	ev.Taken = k.rng.Bool(0.55)
+	e.Commit(ev)
 }
 
 // sessionRef returns a reference into session state: mostly the current

@@ -137,6 +137,24 @@ func (g *Gshare) Update(pc uint64, taken bool) {
 // Stats implements Predictor.
 func (g *Gshare) Stats() Stats { return g.stats }
 
+// Apply predicts, trains, and reports whether the prediction was wrong, in
+// one call: the retirement hot loop uses it to compute the table index once
+// instead of twice (Predict + Update). It is exactly equivalent to
+// Predict(pc) followed by Update(pc, taken).
+func (g *Gshare) Apply(pc uint64, taken bool) (mispredicted bool) {
+	i := g.index(pc)
+	c := g.table[i]
+	pred := counterPredict(c)
+	if pred == taken {
+		g.stats.Correct++
+	} else {
+		g.stats.Wrong++
+	}
+	g.table[i] = counterUpdate(c, taken)
+	g.history = ((g.history << 1) | boolBit(taken)) & g.mask
+	return pred != taken
+}
+
 func boolBit(b bool) uint64 {
 	if b {
 		return 1

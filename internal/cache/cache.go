@@ -7,7 +7,10 @@
 // whose aggregate effects the paper measures through stall-cycle counters.
 package cache
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Config describes one cache level.
 type Config struct {
@@ -35,26 +38,62 @@ func (s Stats) MissRate() float64 {
 }
 
 // Cache is a single set-associative cache with LRU replacement.
+//
+// Each set is stored as assoc packed 8-byte entries kept in recency order,
+// most recent first: an LRU timestamp scheme orders a set's lines by last
+// access, and this layout stores that order positionally instead. The
+// entry word packs the line tag and the line's physical way slot (which
+// way of the set it occupies):
+//
+//	top bits   tag (line >> setBits; geometry is validated so it fits)
+//	low bits   physical slot (just enough bits for the associativity)
+//
+// Validity lives apart from the order, in one bitmask word per set (bit
+// s = way slot s holds a live line). Every slot always appears exactly
+// once in a set's entry list; invalidation just clears mask bits, so
+// FlushFraction — which context-switch-heavy workloads hammer — is a
+// single AND per set instead of any reshuffling. The classic fill rule,
+// "replace the lowest-numbered invalid way, else the least recently used
+// line", is a trailing-zeros scan of the inverted mask, else the last
+// entry (a full mask means every entry is live, so the back one is the
+// LRU line). A repeated-line access is a single compare against the
+// front entry with no bookkeeping writes at all, and an 8-way set's
+// order fits in one 64-byte line of simulator memory. Hits, misses, and
+// victim selection are identical to the timestamp scheme.
 type Cache struct {
-	cfg      Config
-	sets     int
-	lineBits uint
-	setBits  uint
-	setMask  uint64
-	tags     []uint64 // sets*assoc entries; 0 = invalid (tag 0 stored as tag|valid bit)
-	stamps   []uint64 // LRU timestamps, parallel to tags
-	clock    uint64
-	stats    Stats
-}
+	cfg       Config
+	sets      int
+	assoc     int
+	lineBits  uint
+	setBits   uint
+	setMask   uint64
+	slotBits  uint     // low bits of an entry holding the physical slot
+	slotMask  uint64   // (1 << slotBits) - 1
+	assocMask uint64   // bits 0..assoc-1: the full-set valid mask
+	entries   []uint64 // sets*assoc packed entries, MRU-first per set
+	valid     []uint64 // per-set bitmask of slots holding live lines
+	stats     Stats
 
-const validBit = 1 << 63
+	// Partial flushes are applied lazily. A simulation run always calls
+	// FlushFraction with one fraction (the configured context-switch
+	// pollution), so each call clears the same per-set slot mask, and
+	// clearing is idempotent: however many flushes a set missed, one
+	// application catches it up. FlushFraction therefore just bumps an
+	// epoch, and a set pays a single AND on its next access. A fraction
+	// change (only seen in tests) syncs every set eagerly first.
+	flushEpoch  uint64
+	flushStride int      // stride flushMask is built for; 0 = none built
+	flushMask   []uint64 // per-set slot mask one flush clears
+	applied     []uint64 // per-set epoch of the last applied flush
+}
 
 // New builds a cache from cfg. It panics on an invalid geometry.
 func New(cfg Config) *Cache {
 	if cfg.LineSize <= 0 || cfg.LineSize&(cfg.LineSize-1) != 0 {
 		panic(fmt.Sprintf("cache %s: line size %d not a power of two", cfg.Name, cfg.LineSize))
 	}
-	if cfg.Assoc <= 0 {
+	if cfg.Assoc <= 0 || cfg.Assoc > 64 {
+		// The per-set valid bitmask is one word.
 		panic(fmt.Sprintf("cache %s: associativity %d", cfg.Name, cfg.Assoc))
 	}
 	lines := cfg.Size / int64(cfg.LineSize)
@@ -73,15 +112,41 @@ func New(cfg Config) *Cache {
 	for 1<<sb != sets {
 		sb++
 	}
-	return &Cache{
-		cfg:      cfg,
-		sets:     sets,
-		lineBits: lb,
-		setBits:  sb,
-		setMask:  uint64(sets - 1),
-		tags:     make([]uint64, sets*cfg.Assoc),
-		stamps:   make([]uint64, sets*cfg.Assoc),
+	var slotBits uint = 1
+	for 1<<slotBits < cfg.Assoc {
+		slotBits++
 	}
+	if lb+sb < slotBits {
+		// The packed entry stores tag<<slotBits, so the tag must fit in
+		// 64-slotBits bits. Real configs are far above this bound.
+		panic(fmt.Sprintf("cache %s: geometry too small for packed tags", cfg.Name))
+	}
+	assocMask := ^uint64(0)
+	if cfg.Assoc < 64 {
+		assocMask = uint64(1)<<cfg.Assoc - 1
+	}
+	c := &Cache{
+		cfg:       cfg,
+		sets:      sets,
+		assoc:     cfg.Assoc,
+		lineBits:  lb,
+		setBits:   sb,
+		setMask:   uint64(sets - 1),
+		slotBits:  slotBits,
+		slotMask:  uint64(1)<<slotBits - 1,
+		assocMask: assocMask,
+		entries:   make([]uint64, sets*cfg.Assoc),
+		valid:     make([]uint64, sets),
+		flushMask: make([]uint64, sets),
+		applied:   make([]uint64, sets),
+	}
+	for set := 0; set < sets; set++ {
+		base := set * cfg.Assoc
+		for w := 0; w < cfg.Assoc; w++ {
+			c.entries[base+w] = uint64(w)
+		}
+	}
+	return c
 }
 
 // Config returns the cache's configuration.
@@ -95,38 +160,70 @@ func (c *Cache) ResetStats() { c.stats = Stats{} }
 
 // Access looks up addr, installing the line on a miss (write-allocate; the
 // write flag currently only matters to callers). It returns true on a hit.
+// Access is structured so this front-entry check inlines into callers
+// (the hierarchy walk calls it for every reference, and repeated-line
+// locality makes the front hit the common case); accessSlow carries the
+// scan, victim selection, and reordering machinery.
 func (c *Cache) Access(addr uint64, write bool) bool {
-	_ = write
 	line := addr >> c.lineBits
-	set := int(line & c.setMask)
-	tag := (line >> c.setBits) | validBit
-	base := set * c.cfg.Assoc
-	c.clock++
+	set := line & c.setMask
+	// Fast path: no lazy flush pending on the set, and the most recent
+	// line is the front entry — a hit there needs no bookkeeping writes.
+	// A stale entry can carry a matching tag after its slot was
+	// invalidated, so a hit also requires the slot's valid bit.
+	if c.applied[set] == c.flushEpoch {
+		e := c.entries[int(set)*c.assoc]
+		if e&^c.slotMask == (line>>c.setBits)<<c.slotBits && c.valid[set]&(1<<(e&c.slotMask)) != 0 {
+			c.stats.Hits++
+			return true
+		}
+	}
+	return c.accessSlow(line, set, write)
+}
 
-	ways := c.tags[base : base+c.cfg.Assoc]
-	for i, t := range ways {
-		if t == tag {
-			c.stamps[base+i] = c.clock
+func (c *Cache) accessSlow(line, set uint64, write bool) bool {
+	_ = write
+	want := (line >> c.setBits) << c.slotBits
+	slotMask := c.slotMask
+	base := int(set) * c.assoc
+	ents := c.entries[base : base+c.assoc]
+	if c.applied[set] != c.flushEpoch {
+		c.valid[set] &^= c.flushMask[set]
+		c.applied[set] = c.flushEpoch
+	}
+	vm := c.valid[set]
+
+	if e := ents[0]; e&^slotMask == want && vm&(1<<(e&slotMask)) != 0 {
+		c.stats.Hits++
+		return true
+	}
+	for i := 1; i < len(ents); i++ {
+		if e := ents[i]; e&^slotMask == want && vm&(1<<(e&slotMask)) != 0 {
+			// Move to front; the displaced entries keep their order.
+			copy(ents[1:i+1], ents[:i])
+			ents[0] = e
 			c.stats.Hits++
 			return true
 		}
 	}
 	c.stats.Misses++
-	// Replace invalid way if present, else LRU.
-	victim := 0
-	oldest := c.stamps[base]
-	for i, t := range ways {
-		if t&validBit == 0 {
-			victim = i
-			break
+	var v int
+	var slot uint64
+	if free := ^vm & c.assocMask; free != 0 {
+		// The lowest-numbered free way; its (stale) entry moves to the
+		// front carrying the new tag.
+		slot = uint64(bits.TrailingZeros64(free))
+		for ents[v]&slotMask != slot {
+			v++
 		}
-		if c.stamps[base+i] < oldest {
-			oldest = c.stamps[base+i]
-			victim = i
-		}
+		c.valid[set] = vm | 1<<slot
+	} else {
+		// All ways live: the least recently used line at the back.
+		v = len(ents) - 1
+		slot = ents[v] & slotMask
 	}
-	c.tags[base+victim] = tag
-	c.stamps[base+victim] = c.clock
+	copy(ents[1:v+1], ents[:v])
+	ents[0] = want | slot
 	return false
 }
 
@@ -135,10 +232,15 @@ func (c *Cache) Access(addr uint64, write bool) bool {
 func (c *Cache) Contains(addr uint64) bool {
 	line := addr >> c.lineBits
 	set := int(line & c.setMask)
-	tag := (line >> c.setBits) | validBit
-	base := set * c.cfg.Assoc
-	for _, t := range c.tags[base : base+c.cfg.Assoc] {
-		if t == tag {
+	want := (line >> c.setBits) << c.slotBits
+	if c.applied[set] != c.flushEpoch {
+		c.valid[set] &^= c.flushMask[set]
+		c.applied[set] = c.flushEpoch
+	}
+	vm := c.valid[set]
+	base := set * c.assoc
+	for _, e := range c.entries[base : base+c.assoc] {
+		if e&^c.slotMask == want && vm&(1<<(e&c.slotMask)) != 0 {
 			return true
 		}
 	}
@@ -148,9 +250,9 @@ func (c *Cache) Contains(addr uint64) bool {
 // Flush invalidates all lines (used to model the cache disturbance of a
 // context switch at a coarser granularity, see FlushFraction).
 func (c *Cache) Flush() {
-	for i := range c.tags {
-		c.tags[i] = 0
-	}
+	// Pending lazy flushes only clear bits, so zeroing every mask both
+	// applies and subsumes them.
+	clear(c.valid)
 }
 
 // FlushFraction invalidates roughly the given fraction of lines by
@@ -169,9 +271,33 @@ func (c *Cache) FlushFraction(frac float64) {
 	if stride < 1 {
 		stride = 1
 	}
-	for i := 0; i < len(c.tags); i += stride {
-		c.tags[i] = 0
+	if stride != c.flushStride {
+		c.rebuildFlushMasks(stride)
 	}
+	c.flushEpoch++
+}
+
+// rebuildFlushMasks applies any pending lazy flushes at the old stride,
+// then precomputes the per-set mask of every stride-th global way slot —
+// the slots one FlushFraction call at this stride invalidates.
+func (c *Cache) rebuildFlushMasks(stride int) {
+	for set := 0; set < c.sets; set++ {
+		if c.applied[set] != c.flushEpoch {
+			c.valid[set] &^= c.flushMask[set]
+			c.applied[set] = c.flushEpoch
+		}
+	}
+	i := 0
+	for set := 0; set < c.sets; set++ {
+		base := set * c.assoc
+		end := base + c.assoc
+		var m uint64
+		for ; i < end; i += stride {
+			m |= 1 << uint(i-base)
+		}
+		c.flushMask[set] = m
+	}
+	c.flushStride = stride
 }
 
 // Level identifies which level of the hierarchy serviced an access.

@@ -28,11 +28,10 @@ import (
 	"repro/internal/cache"
 )
 
-// MemRef is one representative memory reference within a block.
-type MemRef struct {
-	Addr  uint64
-	Write bool
-}
+// memWrite flags a packed memory reference as a store. Simulated
+// addresses come from addr.Space allocations far below 2^63, so the top
+// bit is free.
+const memWrite = uint64(1) << 63
 
 // MaxMemRefs is the maximum number of memory references a single block
 // event can carry. Workloads emit more blocks rather than wider ones.
@@ -42,39 +41,65 @@ const MaxMemRefs = 4
 //
 // Events are passed by pointer and reused by callers; the core does not
 // retain them.
+// The layout is deliberately compact (72 bytes): every block retirement
+// is staged through an event buffer, so the struct's size is copy traffic
+// in the hottest loop of a collection.
 type BlockEvent struct {
-	PC     uint64 // EIP identifying the block (sampled by the profiler)
-	Thread int    // simulated thread id (tagged onto profiler samples)
-	Insts  int    // instructions retired by this block; must be > 0
+	PC uint64 // EIP identifying the block (sampled by the profiler)
 
 	// BaseCPI is the block's inherent cycles-per-instruction assuming all
 	// cache hits and correct prediction (the WORK component). Wide in-order
 	// issue gives values well below 1 for ILP-rich code.
 	BaseCPI float64
 
-	// Mem holds the block's representative data references.
-	Mem  [MaxMemRefs]MemRef
-	NMem int
+	// Mem holds the block's representative data references, packed as the
+	// byte address with the memWrite bit marking stores (AddMem packs,
+	// Retire unpacks).
+	Mem [MaxMemRefs]uint64
+
+	Thread int32 // simulated thread id (tagged onto profiler samples)
+	Insts  int32 // instructions retired by this block; must be > 0
+
+	// ExtraStall is charged to OTHER (cycles): dependency chains, FP
+	// latencies, and similar backend effects the block model knows about.
+	ExtraStall int32
+
+	// ID is the block's dense interned id (addr.Space assigns one id per
+	// 64 bytes of every code region, in allocation order). It rides along
+	// with the PC so per-block accumulators can index slices instead of
+	// hashing 64-bit PCs. Events emitted outside interned regions leave it
+	// zero; only BBV collection requires it, and it is validated against
+	// the PC there.
+	ID int32
+
+	NMem uint8 // count of live Mem entries
 
 	// HasBranch marks a conditional branch terminating the block, with its
 	// actual direction.
 	HasBranch bool
 	Taken     bool
 
-	// ExtraStall is charged to OTHER (cycles): dependency chains, FP
-	// latencies, and similar backend effects the block model knows about.
-	ExtraStall int
+	// DroppedMem counts memory references AddMem discarded because the
+	// event already carried MaxMemRefs (saturating at 255).
+	DroppedMem uint8
 }
 
 // Reset clears an event for reuse.
 func (ev *BlockEvent) Reset() { *ev = BlockEvent{} }
 
 // AddMem appends a memory reference; extra references beyond MaxMemRefs are
-// dropped (callers should emit more blocks instead).
+// dropped and counted in DroppedMem (callers should emit more blocks
+// instead — the core surfaces the drop totals so truncation is visible).
 func (ev *BlockEvent) AddMem(addr uint64, write bool) {
 	if ev.NMem < MaxMemRefs {
-		ev.Mem[ev.NMem] = MemRef{Addr: addr, Write: write}
+		m := addr
+		if write {
+			m |= memWrite
+		}
+		ev.Mem[ev.NMem] = m
 		ev.NMem++
+	} else if ev.DroppedMem < 255 {
+		ev.DroppedMem++
 	}
 }
 
@@ -270,8 +295,20 @@ func ConfigByName(name string) (Config, error) {
 type Core struct {
 	cfg  Config
 	hier cache.Hierarchy
-	pred branch.Predictor
+	pred *branch.Gshare
 	ctr  Counters
+
+	// Retirement fast-path state, precomputed at New: direct pointers to
+	// the cache levels (skipping a pointer hop through hier) and the
+	// per-level FE/EXE cycle charges, so Retire does no float math or
+	// config loads per event.
+	l1i, l1d, l2, l3     *cache.Cache // l3 is nil on no-L3 machines
+	feL2, feL3, feMem    uint64       // FE charge per L1I-miss service level
+	latL2, latL3, latMem uint64       // EXE charge per data service level
+	mp                   uint64       // misprediction penalty
+
+	// dropped accumulates BlockEvent.DroppedMem over all retired events.
+	dropped uint64
 
 	// Sequential stream prefetcher state: recently seen data lines; an
 	// access to line s+1 after line s is considered prefetched and is
@@ -315,7 +352,34 @@ func New(cfg Config) *Core {
 	if bits == 0 {
 		bits = 14
 	}
-	return &Core{cfg: cfg, hier: h, pred: branch.NewGshare(bits)}
+	f := cfg.IFetchFactor
+	if f == 0 {
+		f = 1
+	}
+	c := &Core{cfg: cfg, hier: h, pred: branch.NewGshare(bits)}
+	c.l1i, c.l1d, c.l2, c.l3 = h.L1I, h.L1D, h.L2, h.L3
+	c.feL2 = feCharge(cfg.Lat.L2Hit, f)
+	c.feL3 = feCharge(cfg.Lat.L3Hit, f)
+	c.feMem = feCharge(cfg.Lat.Memory, f)
+	c.latL2 = uint64(cfg.Lat.L2Hit)
+	c.latL3 = uint64(cfg.Lat.L3Hit)
+	c.latMem = uint64(cfg.Lat.Memory)
+	c.mp = uint64(cfg.MispredictPenalty)
+	return c
+}
+
+// feCharge is the front-end stall charged for an instruction miss serviced
+// at a level with the given latency, discounted by the fetch-ahead factor
+// (zero latency charges nothing; a nonzero latency charges at least 1).
+func feCharge(lat int, f float64) uint64 {
+	if lat <= 0 {
+		return 0
+	}
+	charged := uint64(float64(lat)*f + 0.5)
+	if charged == 0 {
+		charged = 1
+	}
+	return charged
 }
 
 // Config returns the machine configuration.
@@ -323,6 +387,18 @@ func (c *Core) Config() Config { return c.cfg }
 
 // Counters returns the cumulative counter snapshot.
 func (c *Core) Counters() Counters { return c.ctr }
+
+// Insts returns the retired-instruction count alone. The scheduler's
+// budget and the sampler's period check run on every retirement; this
+// avoids copying the full counter block just to read one field.
+func (c *Core) Insts() uint64 { return c.ctr.Insts }
+
+// Cycles returns the total cycle count alone (see Insts).
+func (c *Core) Cycles() uint64 { return c.ctr.Cycles }
+
+// MemRefsDropped returns how many memory references BlockEvent.AddMem
+// discarded (beyond MaxMemRefs) across all events retired so far.
+func (c *Core) MemRefsDropped() uint64 { return c.dropped }
 
 // BranchStats returns the predictor's accuracy counters.
 func (c *Core) BranchStats() branch.Stats { return c.pred.Stats() }
@@ -334,6 +410,7 @@ func (c *Core) Retire(ev *BlockEvent) {
 		panic("cpu: Retire with non-positive instruction count")
 	}
 	c.ctr.Insts += uint64(ev.Insts)
+	c.dropped += uint64(ev.DroppedMem)
 
 	// WORK: inherent execution cost.
 	work := uint64(float64(ev.Insts)*ev.BaseCPI + 0.5)
@@ -343,76 +420,60 @@ func (c *Core) Retire(ev *BlockEvent) {
 	c.ctr.WorkCycles += work
 
 	// FE: instruction fetch, discounted by front-end fetch-ahead overlap.
+	// The hierarchy walk is inlined with the L1I hit (no charge) first and
+	// the per-level charges precomputed, but the access sequence — and so
+	// every LRU/stats update — is identical to Hierarchy.Inst.
 	var fe uint64
-	var ilat int
-	switch c.hier.Inst(ev.PC) {
-	case cache.LevelL1:
-	case cache.LevelL2:
+	if !c.l1i.Access(ev.PC, false) {
 		c.ctr.L1IMisses++
-		ilat = c.cfg.Lat.L2Hit
-	case cache.LevelL3:
-		c.ctr.L1IMisses++
-		ilat = c.cfg.Lat.L3Hit
-	case cache.LevelMemory:
-		c.ctr.L1IMisses++
-		ilat = c.cfg.Lat.Memory
-	}
-	if ilat > 0 {
-		f := c.cfg.IFetchFactor
-		if f == 0 {
-			f = 1
+		if c.l2.Access(ev.PC, false) {
+			fe = c.feL2
+		} else if c.l3 != nil && c.l3.Access(ev.PC, false) {
+			fe = c.feL3
+		} else {
+			fe = c.feMem
 		}
-		charged := uint64(float64(ilat)*f + 0.5)
-		if charged == 0 {
-			charged = 1
-		}
-		fe += charged
 	}
 
 	// FE: branch prediction.
 	if ev.HasBranch {
 		c.ctr.Branches++
-		predicted := c.pred.Predict(ev.PC)
-		c.pred.Update(ev.PC, ev.Taken)
-		if predicted != ev.Taken {
+		if c.pred.Apply(ev.PC, ev.Taken) {
 			c.ctr.Mispredicts++
-			fe += uint64(c.cfg.MispredictPenalty)
+			fe += c.mp
 		}
 	}
 	c.ctr.FECycles += fe
 
-	// EXE: data-side stalls. Long-latency misses that continue a
-	// sequential stream are serviced at L2 latency by the prefetcher.
+	// EXE: data-side stalls, same inlined walk as the fetch path. Misses
+	// past L2 that continue a sequential stream are serviced at L2 latency
+	// by the prefetcher (whose state is only touched for those misses,
+	// exactly as in the Hierarchy.Data formulation).
 	var exe uint64
-	for i := 0; i < ev.NMem; i++ {
-		lvl := c.hier.Data(ev.Mem[i].Addr, ev.Mem[i].Write)
-		if lvl >= cache.LevelL3 && c.prefetched(ev.Mem[i].Addr) {
-			c.ctr.PrefetchHits++
-			if lvl == cache.LevelL3 {
-				c.ctr.L1DMisses++
-				c.ctr.L2Misses++
-			} else {
-				c.ctr.L1DMisses++
-				c.ctr.L2Misses++
-				c.ctr.L3Misses++
-			}
-			exe += uint64(c.cfg.Lat.L2Hit)
+	for i := 0; i < int(ev.NMem); i++ {
+		a := ev.Mem[i] &^ memWrite
+		w := ev.Mem[i]&memWrite != 0
+		if c.l1d.Access(a, w) {
 			continue
 		}
-		switch lvl {
-		case cache.LevelL1:
-		case cache.LevelL2:
-			c.ctr.L1DMisses++
-			exe += uint64(c.cfg.Lat.L2Hit)
-		case cache.LevelL3:
-			c.ctr.L1DMisses++
-			c.ctr.L2Misses++
-			exe += uint64(c.cfg.Lat.L3Hit)
-		case cache.LevelMemory:
-			c.ctr.L1DMisses++
-			c.ctr.L2Misses++
+		c.ctr.L1DMisses++
+		if c.l2.Access(a, w) {
+			exe += c.latL2
+			continue
+		}
+		c.ctr.L2Misses++
+		toMemory := c.l3 == nil || !c.l3.Access(a, w)
+		if toMemory {
 			c.ctr.L3Misses++
-			exe += uint64(c.cfg.Lat.Memory)
+		}
+		switch {
+		case c.prefetched(a):
+			c.ctr.PrefetchHits++
+			exe += c.latL2
+		case toMemory:
+			exe += c.latMem
+		default:
+			exe += c.latL3
 		}
 	}
 	c.ctr.EXECycles += exe
@@ -422,6 +483,15 @@ func (c *Core) Retire(ev *BlockEvent) {
 	c.ctr.OtherCycles += other
 
 	c.ctr.Cycles += work + fe + exe + other
+}
+
+// RetireBatch retires a run of block events with no per-event observation
+// — the scheduler's batched fast path between sampling boundaries. It is
+// exactly equivalent to calling Retire on each event in order.
+func (c *Core) RetireBatch(evs []BlockEvent) {
+	for i := range evs {
+		c.Retire(&evs[i])
+	}
 }
 
 // ContextSwitch models the microarchitectural cost of a context switch:

@@ -17,11 +17,11 @@ func TestRetireAccountingIdentity(t *testing.T) {
 		for i := 0; i < 500; i++ {
 			ev.Reset()
 			ev.PC = 0x400000 + uint64(r.Intn(1<<16))*4
-			ev.Insts = 1 + r.Intn(30)
+			ev.Insts = int32(1 + r.Intn(30))
 			ev.BaseCPI = 0.3 + r.Float64()
 			ev.HasBranch = r.Bool(0.5)
 			ev.Taken = r.Bool(0.5)
-			ev.ExtraStall = r.Intn(10)
+			ev.ExtraStall = int32(r.Intn(10))
 			for j := 0; j < r.Intn(MaxMemRefs+1); j++ {
 				ev.AddMem(r.Uint64()%(1<<30), r.Bool(0.3))
 			}
@@ -217,6 +217,32 @@ func TestAddMemOverflowDropped(t *testing.T) {
 	if ev.NMem != MaxMemRefs {
 		t.Fatalf("NMem = %d, want %d", ev.NMem, MaxMemRefs)
 	}
+	if ev.DroppedMem != 3 {
+		t.Fatalf("DroppedMem = %d, want 3", ev.DroppedMem)
+	}
+}
+
+func TestAddMemDropCounterSaturates(t *testing.T) {
+	var ev BlockEvent
+	for i := 0; i < MaxMemRefs+300; i++ {
+		ev.AddMem(uint64(i), false)
+	}
+	if ev.DroppedMem != 255 {
+		t.Fatalf("DroppedMem = %d, want saturation at 255", ev.DroppedMem)
+	}
+}
+
+func TestCoreAccumulatesDroppedMemRefs(t *testing.T) {
+	c := New(Itanium2())
+	ev := BlockEvent{PC: 0x400000, Insts: 4, BaseCPI: 1}
+	for i := 0; i < MaxMemRefs+2; i++ {
+		ev.AddMem(uint64(0x100000000+i*64), false)
+	}
+	c.Retire(&ev)
+	c.Retire(&ev)
+	if got := c.MemRefsDropped(); got != 4 {
+		t.Fatalf("MemRefsDropped = %d, want 4 (2 drops x 2 retirements)", got)
+	}
 }
 
 func TestCountersSub(t *testing.T) {
@@ -282,8 +308,8 @@ func BenchmarkRetire(b *testing.B) {
 			BaseCPI: 0.5,
 			NMem:    2,
 		}
-		evs[i].Mem[0] = MemRef{Addr: r.Uint64() % (16 << 20)}
-		evs[i].Mem[1] = MemRef{Addr: r.Uint64() % (16 << 20)}
+		evs[i].Mem[0] = r.Uint64() % (16 << 20)
+		evs[i].Mem[1] = r.Uint64() % (16 << 20)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

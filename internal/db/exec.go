@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"repro/internal/addr"
-	"repro/internal/cpu"
 	"repro/internal/heapfile"
 	"repro/internal/workload"
 	"repro/internal/xrand"
@@ -41,8 +40,6 @@ type Exec struct {
 	// DisableIO turns page misses into pure CPU events (used by unit
 	// tests and by memory-resident OLTP working sets).
 	DisableIO bool
-
-	ev cpu.BlockEvent // scratch
 }
 
 // NewExec creates a worker context on d, drawing randomness from rng. The
@@ -63,25 +60,25 @@ func NewExec(d *Database, rng *xrand.Rand) *Exec {
 func (x *Exec) Bind(em *workload.Emitter) { x.em = em }
 
 // emit sends a one-off block event.
-func (x *Exec) emit(pc uint64, insts int, baseCPI float64) {
-	x.ev.Reset()
-	x.ev.PC = pc
-	x.ev.Insts = insts
-	x.ev.BaseCPI = baseCPI
-	x.em.Emit(&x.ev)
+func (x *Exec) emit(b workload.BlockRef, insts int, baseCPI float64) {
+	ev := x.em.Alloc()
+	b.Assign(ev)
+	ev.Insts = int32(insts)
+	ev.BaseCPI = baseCPI
+	x.em.Commit(ev)
 }
 
 // emitMem sends a block event with one memory reference and an optional
 // data-dependent branch.
-func (x *Exec) emitMem(pc uint64, insts int, baseCPI float64, memAddr uint64, write, hasBranch, taken bool) {
-	x.ev.Reset()
-	x.ev.PC = pc
-	x.ev.Insts = insts
-	x.ev.BaseCPI = baseCPI
-	x.ev.AddMem(memAddr, write)
-	x.ev.HasBranch = hasBranch
-	x.ev.Taken = taken
-	x.em.Emit(&x.ev)
+func (x *Exec) emitMem(b workload.BlockRef, insts int, baseCPI float64, memAddr uint64, write, hasBranch, taken bool) {
+	ev := x.em.Alloc()
+	b.Assign(ev)
+	ev.Insts = int32(insts)
+	ev.BaseCPI = baseCPI
+	ev.AddMem(memAddr, write)
+	ev.HasBranch = hasBranch
+	ev.Taken = taken
+	x.em.Commit(ev)
 }
 
 // Glue emits executor-glue blocks (plan dispatch, expression evaluation)
@@ -111,32 +108,32 @@ func (x *Exec) pageIn(f *heapfile.File, id heapfile.RowID) {
 // TouchRow reads a row through the pool and cache hierarchy, charging the
 // given operator block. taken is the data-dependent branch outcome (e.g. a
 // predicate result).
-func (x *Exec) TouchRow(pc uint64, f *heapfile.File, id heapfile.RowID, insts int, baseCPI float64, taken bool) {
+func (x *Exec) TouchRow(b workload.BlockRef, f *heapfile.File, id heapfile.RowID, insts int, baseCPI float64, taken bool) {
 	x.pageIn(f, id)
 	a := f.Addr(id)
-	x.ev.Reset()
-	x.ev.PC = pc
-	x.ev.Insts = insts
-	x.ev.BaseCPI = baseCPI
-	x.ev.AddMem(a, false)
-	x.ev.AddMem(a+64, false) // rows span two cache lines
-	x.ev.HasBranch = true
-	x.ev.Taken = taken
-	x.em.Emit(&x.ev)
+	ev := x.em.Alloc()
+	b.Assign(ev)
+	ev.Insts = int32(insts)
+	ev.BaseCPI = baseCPI
+	ev.AddMem(a, false)
+	ev.AddMem(a+64, false) // rows span two cache lines
+	ev.HasBranch = true
+	ev.Taken = taken
+	x.em.Commit(ev)
 }
 
 // TouchNode charges an index-node visit (B+tree descent step). The binary
 // search within a node touches multiple lines of its key array.
 func (x *Exec) TouchNode(nodeAddr uint64, taken bool) {
-	x.ev.Reset()
-	x.ev.PC = x.DB.Code.IndexScan.NextPC()
-	x.ev.Insts = 9
-	x.ev.BaseCPI = cpiIndexScan
-	x.ev.AddMem(nodeAddr, false)
-	x.ev.AddMem(nodeAddr+1024, false)
-	x.ev.HasBranch = true
-	x.ev.Taken = taken
-	x.em.Emit(&x.ev)
+	ev := x.em.Alloc()
+	x.DB.Code.IndexScan.NextPC().Assign(ev)
+	ev.Insts = 9
+	ev.BaseCPI = cpiIndexScan
+	ev.AddMem(nodeAddr, false)
+	ev.AddMem(nodeAddr+1024, false)
+	ev.HasBranch = true
+	ev.Taken = taken
+	x.em.Commit(ev)
 }
 
 // HashBucketAddr maps a hash key into the worker's hash area.
@@ -155,14 +152,14 @@ func (x *Exec) SortSlotAddr(i int) uint64 {
 
 // EmitPlain emits a compute-only block with a data-dependent branch — the
 // OLTP server's glue-code currency.
-func (x *Exec) EmitPlain(pc uint64, insts int, baseCPI float64, taken bool) {
-	x.ev.Reset()
-	x.ev.PC = pc
-	x.ev.Insts = insts
-	x.ev.BaseCPI = baseCPI
-	x.ev.HasBranch = true
-	x.ev.Taken = taken
-	x.em.Emit(&x.ev)
+func (x *Exec) EmitPlain(b workload.BlockRef, insts int, baseCPI float64, taken bool) {
+	ev := x.em.Alloc()
+	b.Assign(ev)
+	ev.Insts = int32(insts)
+	ev.BaseCPI = baseCPI
+	ev.HasBranch = true
+	ev.Taken = taken
+	x.em.Commit(ev)
 }
 
 // WalkParser charges n blocks of SQL front-end code.
@@ -178,15 +175,15 @@ func (x *Exec) TouchRowRW(f *heapfile.File, id int64, insts int, write bool) {
 	rid := heapfile.RowID(id)
 	x.pageIn(f, rid)
 	a := f.Addr(rid)
-	x.ev.Reset()
-	x.ev.PC = x.DB.Code.Txn.HotPC()
-	x.ev.Insts = insts
-	x.ev.BaseCPI = cpiTxn
-	x.ev.AddMem(a, write)
-	x.ev.AddMem(a+64, write)
-	x.ev.HasBranch = true
-	x.ev.Taken = write
-	x.em.Emit(&x.ev)
+	ev := x.em.Alloc()
+	x.DB.Code.Txn.HotPC().Assign(ev)
+	ev.Insts = int32(insts)
+	ev.BaseCPI = cpiTxn
+	ev.AddMem(a, write)
+	ev.AddMem(a+64, write)
+	ev.HasBranch = true
+	ev.Taken = write
+	x.em.Commit(ev)
 }
 
 // LogWrite emits a transaction-commit log append: txn-manager code plus a

@@ -1,7 +1,7 @@
 package db
 
 import (
-	"sort"
+	"slices"
 
 	"repro/internal/heapfile"
 	"repro/internal/workload"
@@ -243,33 +243,126 @@ func (j *IndexNLJoin) Step(x *Exec) (Tuple, Status) {
 type HashJoin struct {
 	Inner, Outer Op
 
-	ht      map[int64][]int64 // key -> inner aux values
+	// The build side accumulates (key, aux) pairs into one flat slice and
+	// groups them when the inner relation is drained: a stable sort by key
+	// keeps each key's aux values in scan order, and ht then maps a key to
+	// its contiguous span. One map entry per distinct key replaces the
+	// seed's map of independently growing slices (one allocation per few
+	// inner rows); probe results are byte-identical because only the
+	// per-key value order is observable.
+	pairs   []Tuple   // inner (K, A) pairs in scan order
+	ht      spanTable // key -> span of pairs after grouping
 	built   bool
-	pending []int64
+	grouped bool
+	// The in-flight probe match: outer row (pendK, pendA) joined against
+	// pairs[pendOff:pendEnd], emitted one row per Step.
+	pendOff int32
+	pendEnd int32
 	pendK   int64
 	pendA   int64
+}
+
+// span is a half-open range into HashJoin.pairs.
+type span struct{ off, end int32 }
+
+// spanTable is an open-addressed key -> span index sized for the build
+// side. It only ever answers point lookups (iteration order is never
+// observed), and a flat probe sequence beats the general-purpose map by
+// a wide margin in the join's inner loop. A zero span marks an empty
+// slot: real spans are non-empty, so end > off >= 0 always holds.
+type spanTable struct {
+	keys  []int64
+	spans []span
+	shift uint
+}
+
+func (t *spanTable) init(n int) {
+	size := 4
+	for size < 2*n {
+		size *= 2
+	}
+	if len(t.keys) < size {
+		t.keys = make([]int64, size)
+		t.spans = make([]span, size)
+	} else {
+		size = len(t.keys)
+		clear(t.keys)
+		clear(t.spans)
+	}
+	shift := uint(64)
+	for 1<<(64-shift) != size {
+		shift--
+	}
+	t.shift = shift
+}
+
+func (t *spanTable) slot(k int64) uint64 {
+	return uint64(k) * 0x9E3779B97F4A7C15 >> t.shift
+}
+
+func (t *spanTable) put(k int64, sp span) {
+	mask := uint64(len(t.keys) - 1)
+	for i := t.slot(k); ; i = (i + 1) & mask {
+		if t.spans[i].end == 0 {
+			t.keys[i], t.spans[i] = k, sp
+			return
+		}
+	}
+}
+
+// get returns the key's span, or the zero span if the key never appeared
+// on the build side.
+func (t *spanTable) get(k int64) span {
+	mask := uint64(len(t.keys) - 1)
+	for i := t.slot(k); ; i = (i + 1) & mask {
+		if sp := t.spans[i]; sp.end == 0 || t.keys[i] == k {
+			return sp
+		}
+	}
 }
 
 // Reset implements Op.
 func (j *HashJoin) Reset() {
 	j.Inner.Reset()
 	j.Outer.Reset()
-	j.ht = nil
+	j.pairs = j.pairs[:0]
 	j.built = false
-	j.pending = j.pending[:0]
+	j.grouped = false
+	j.pendOff, j.pendEnd = 0, 0
+}
+
+// group sorts the build pairs by key (stably, preserving scan order within
+// a key) and indexes each key's span.
+func (j *HashJoin) group() {
+	slices.SortStableFunc(j.pairs, func(a, b Tuple) int {
+		switch {
+		case a.K < b.K:
+			return -1
+		case a.K > b.K:
+			return 1
+		default:
+			return 0
+		}
+	})
+	j.ht.init(len(j.pairs))
+	for i := 0; i < len(j.pairs); {
+		k, start := j.pairs[i].K, i
+		for i < len(j.pairs) && j.pairs[i].K == k {
+			i++
+		}
+		j.ht.put(k, span{off: int32(start), end: int32(i)})
+	}
+	j.grouped = true
 }
 
 // Step implements Op.
 func (j *HashJoin) Step(x *Exec) (Tuple, Status) {
 	if !j.built {
-		if j.ht == nil {
-			j.ht = make(map[int64][]int64)
-		}
 		for n := 0; n < scanChunk; n++ {
 			t, st := j.Inner.Step(x)
 			switch st {
 			case HaveRow:
-				j.ht[t.K] = append(j.ht[t.K], t.A)
+				j.pairs = append(j.pairs, Tuple{K: t.K, A: t.A})
 				x.emitMem(x.DB.Code.HashJoin.SeqPC(), 8, cpiHashJoin, x.HashBucketAddr(t.K), true, false, false)
 			case NeedMore:
 				return Tuple{}, NeedMore
@@ -280,9 +373,12 @@ func (j *HashJoin) Step(x *Exec) (Tuple, Status) {
 		}
 		return Tuple{}, NeedMore
 	}
-	if len(j.pending) > 0 {
-		a := j.pending[0]
-		j.pending = j.pending[1:]
+	if !j.grouped {
+		j.group()
+	}
+	if j.pendOff < j.pendEnd {
+		a := j.pairs[j.pendOff].A
+		j.pendOff++
 		x.emit(x.DB.Code.HashJoin.SeqPC(), 6, cpiHashJoin)
 		return Tuple{K: j.pendK, A: j.pendA, B: a}, HaveRow
 	}
@@ -290,13 +386,13 @@ func (j *HashJoin) Step(x *Exec) (Tuple, Status) {
 	if st != HaveRow {
 		return Tuple{}, st
 	}
-	matches := j.ht[out.K]
-	x.emitMem(x.DB.Code.HashJoin.SeqPC(), 10, cpiHashJoin, x.HashBucketAddr(out.K), false, true, len(matches) > 0)
-	if len(matches) == 0 {
+	sp := j.ht.get(out.K)
+	x.emitMem(x.DB.Code.HashJoin.SeqPC(), 10, cpiHashJoin, x.HashBucketAddr(out.K), false, true, sp.end > sp.off)
+	if sp.end == sp.off {
 		return Tuple{}, NeedMore
 	}
 	j.pendK, j.pendA = out.K, out.A
-	j.pending = append(j.pending[:0], matches...)
+	j.pendOff, j.pendEnd = sp.off, sp.end
 	return Tuple{}, NeedMore
 }
 
@@ -345,16 +441,29 @@ func (s *Sort) Step(x *Exec) (Tuple, Status) {
 		return Tuple{}, NeedMore
 	}
 	if !s.sorted {
-		less := func(i, j int) bool {
-			if s.rows[i].K != s.rows[j].K {
+		// Stable generic sort: identical output order to sort.SliceStable
+		// (stability makes the result unique) without the reflection
+		// swapper in the hot path.
+		slices.SortStableFunc(s.rows, func(a, b Tuple) int {
+			if a.K != b.K {
+				up := a.K < b.K
 				if s.Desc {
-					return s.rows[i].K > s.rows[j].K
+					up = !up
 				}
-				return s.rows[i].K < s.rows[j].K
+				if up {
+					return -1
+				}
+				return 1
 			}
-			return s.rows[i].B < s.rows[j].B
-		}
-		sort.SliceStable(s.rows, less)
+			switch {
+			case a.B < b.B:
+				return -1
+			case a.B > b.B:
+				return 1
+			default:
+				return 0
+			}
+		})
 		s.sorted = true
 		s.passes = 0
 		for n := 1; n < len(s.rows); n *= 2 {
@@ -367,13 +476,13 @@ func (s *Sort) Step(x *Exec) (Tuple, Status) {
 		for n := 0; n < scanChunk && s.passPos < len(s.rows); n += mergeGroup {
 			src := x.SortSlotAddr(s.passPos)
 			dst := x.SortSlotAddr(s.passPos + len(s.rows))
-			x.ev.Reset()
-			x.ev.PC = x.DB.Code.Sort.SeqPC()
-			x.ev.Insts = 5 * mergeGroup
-			x.ev.BaseCPI = cpiSort
-			x.ev.AddMem(src, false)
-			x.ev.AddMem(dst, true)
-			x.em.Emit(&x.ev)
+			ev := x.em.Alloc()
+			x.DB.Code.Sort.SeqPC().Assign(ev)
+			ev.Insts = 5 * mergeGroup
+			ev.BaseCPI = cpiSort
+			ev.AddMem(src, false)
+			ev.AddMem(dst, true)
+			x.em.Commit(ev)
 			s.passPos += mergeGroup
 		}
 		if s.passPos >= len(s.rows) {
@@ -405,7 +514,7 @@ type HashAgg struct {
 // Reset implements Op.
 func (a *HashAgg) Reset() {
 	a.Child.Reset()
-	a.groups = nil
+	clear(a.groups) // keep the buckets: repeated query runs reuse them
 	a.keys = a.keys[:0]
 	a.drained = false
 	a.out = 0
@@ -433,7 +542,7 @@ func (a *HashAgg) Step(x *Exec) (Tuple, Status) {
 				for k := range a.groups {
 					a.keys = append(a.keys, k)
 				}
-				sort.Slice(a.keys, func(i, j int) bool { return a.keys[i] < a.keys[j] })
+				slices.Sort(a.keys) // distinct map keys: no ties, order unique
 				return Tuple{}, NeedMore
 			}
 		}
@@ -702,11 +811,21 @@ func (k *KeyWalk) Step(x *Exec) (Tuple, Status) {
 }
 
 func (t *TopN) compact() {
-	sort.SliceStable(t.rows, func(i, j int) bool {
-		if t.rows[i].K != t.rows[j].K {
-			return t.rows[i].K > t.rows[j].K
+	slices.SortStableFunc(t.rows, func(a, b Tuple) int {
+		if a.K != b.K {
+			if a.K > b.K {
+				return -1
+			}
+			return 1
 		}
-		return t.rows[i].B < t.rows[j].B
+		switch {
+		case a.B < b.B:
+			return -1
+		case a.B > b.B:
+			return 1
+		default:
+			return 0
+		}
 	})
 	if len(t.rows) > t.N {
 		t.rows = t.rows[:t.N]

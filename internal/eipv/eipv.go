@@ -11,6 +11,7 @@ package eipv
 import (
 	"slices"
 	"sort"
+	"sync"
 
 	"repro/internal/cpu"
 	"repro/internal/profiler"
@@ -48,6 +49,12 @@ func (v *Vector) Samples() int {
 type Set struct {
 	Workload string
 	Vectors  []Vector
+
+	// eips memoizes EIPs(): vectors are immutable once a set is built, and
+	// the enumeration is requested once per analysis stage that indexes
+	// features.
+	eipsOnce sync.Once
+	eips     []uint64
 }
 
 // CPIs returns the per-interval CPI series.
@@ -68,20 +75,23 @@ func (s *Set) MeanCPI() float64 { return stats.Mean(s.CPIs()) }
 
 // EIPs returns the distinct EIPs across all vectors in ascending order —
 // the canonical feature enumeration the dense analysis kernels (rtree,
-// kmeans) index by.
+// kmeans) index by. The enumeration is computed once and memoized; callers
+// must not modify the returned slice.
 func (s *Set) EIPs() []uint64 {
-	seen := map[uint64]struct{}{}
-	for i := range s.Vectors {
-		for e := range s.Vectors[i].Counts {
-			seen[e] = struct{}{}
+	s.eipsOnce.Do(func() {
+		seen := map[uint64]struct{}{}
+		for i := range s.Vectors {
+			for e := range s.Vectors[i].Counts {
+				seen[e] = struct{}{}
+			}
 		}
-	}
-	out := make([]uint64, 0, len(seen))
-	for e := range seen {
-		out = append(out, e)
-	}
-	slices.Sort(out)
-	return out
+		s.eips = make([]uint64, 0, len(seen))
+		for e := range seen {
+			s.eips = append(s.eips, e)
+		}
+		slices.Sort(s.eips)
+	})
+	return s.eips
 }
 
 // UniqueEIPs returns the number of distinct EIPs across all vectors.
@@ -120,26 +130,31 @@ func instantaneous(samples []profiler.Sample) []float64 {
 // Build aggregates a profile into whole-system EIPVs with the given
 // interval length in instructions. Samples are assigned to intervals by
 // their cumulative retired-instruction count.
+//
+// Accumulation runs over the profile's dense EIP index: per-sample work is
+// a slice increment by rank instead of a map insert, and one accumulator's
+// backing array is reused across all intervals with a touched-list reset.
 func Build(p *profiler.Profile, intervalInsts uint64) *Set {
 	s := &Set{Workload: p.Workload}
 	if len(p.Samples) == 0 {
 		return s
 	}
 	inst := instantaneous(p.Samples)
+	eips, ranks := p.EIPIndex()
+	acc := newIntervalAcc(-1, eips)
 	cur := -1
-	var acc *intervalAcc
 	for i := range p.Samples {
 		idx := int((p.Samples[i].Counters.Insts - 1) / intervalInsts)
 		if idx != cur {
-			if acc != nil {
+			if acc.armed {
 				s.Vectors = append(s.Vectors, acc.finish())
 			}
-			acc = newIntervalAcc(idx, -1, prevCounters(p, i))
+			acc.reset(idx, prevCounters(p, i))
 			cur = idx
 		}
-		acc.add(p.Samples[i], inst[i])
+		acc.add(ranks[i], &p.Samples[i], inst[i])
 	}
-	if acc != nil && acc.samples > 0 {
+	if acc.armed && acc.samples > 0 {
 		s.Vectors = append(s.Vectors, acc.finish())
 	}
 	return s
@@ -159,23 +174,27 @@ func BuildPerThread(p *profiler.Profile, intervalInsts uint64) *Set {
 		perInterval = 1
 	}
 	inst := instantaneous(p.Samples)
-	accs := map[int]*intervalAcc{}
+	eips, ranks := p.EIPIndex()
+	accs := map[int]*intervalAcc{} // one reusable accumulator per thread
 	idx := map[int]int{}
 	for i := range p.Samples {
 		th := p.Samples[i].Thread
 		acc := accs[th]
 		if acc == nil {
-			acc = newIntervalAcc(idx[th], th, prevCounters(p, i))
+			acc = newIntervalAcc(th, eips)
 			accs[th] = acc
 		}
-		acc.add(p.Samples[i], inst[i])
+		if !acc.armed {
+			acc.reset(idx[th], prevCounters(p, i))
+		}
+		acc.add(ranks[i], &p.Samples[i], inst[i])
 		if acc.samples >= perInterval {
 			s.Vectors = append(s.Vectors, acc.finish())
 			idx[th]++
-			accs[th] = nil
 		}
 	}
-	// Drop trailing partial vectors (incomplete intervals).
+	// Trailing partial accumulators (incomplete intervals) are never
+	// finished, which drops them.
 	sort.SliceStable(s.Vectors, func(i, j int) bool {
 		if s.Vectors[i].Thread != s.Vectors[j].Thread {
 			return s.Vectors[i].Thread < s.Vectors[j].Thread
@@ -192,33 +211,59 @@ func prevCounters(p *profiler.Profile, i int) cpu.Counters {
 	return p.Samples[i-1].Counters
 }
 
-// intervalAcc accumulates one vector.
+// intervalAcc accumulates one vector stream's intervals: a dense count
+// slice indexed by the profile's EIP rank, with a touched-list so reset
+// cost tracks the EIPs actually sampled. One accumulator is reused for
+// every interval of its stream (reset re-arms it after finish).
 type intervalAcc struct {
 	index   int
 	thread  int
-	counts  map[uint64]int
+	armed   bool
+	eips    []uint64 // rank -> EIP, shared from the profile index
+	counts  []int32  // samples per rank in the current interval
+	touched []int32  // ranks with nonzero counts
 	cpiSum  float64
 	samples int
 	first   cpu.Counters
 	last    cpu.Counters
 }
 
-func newIntervalAcc(index, thread int, first cpu.Counters) *intervalAcc {
-	return &intervalAcc{index: index, thread: thread, counts: map[uint64]int{}, first: first}
+func newIntervalAcc(thread int, eips []uint64) *intervalAcc {
+	return &intervalAcc{thread: thread, eips: eips, counts: make([]int32, len(eips))}
 }
 
-func (a *intervalAcc) add(s profiler.Sample, instCPI float64) {
-	a.counts[s.EIP]++
+// reset re-arms the accumulator for a new interval. counts and touched are
+// already clear: finish sparse-resets them.
+func (a *intervalAcc) reset(index int, first cpu.Counters) {
+	a.index = index
+	a.armed = true
+	a.cpiSum = 0
+	a.samples = 0
+	a.first = first
+}
+
+func (a *intervalAcc) add(rank int32, s *profiler.Sample, instCPI float64) {
+	if a.counts[rank] == 0 {
+		a.touched = append(a.touched, rank)
+	}
+	a.counts[rank]++
 	a.cpiSum += instCPI
 	a.samples++
 	a.last = s.Counters
 }
 
 func (a *intervalAcc) finish() Vector {
+	m := make(map[uint64]int, len(a.touched))
+	for _, r := range a.touched {
+		m[a.eips[r]] = int(a.counts[r])
+		a.counts[r] = 0
+	}
+	a.touched = a.touched[:0]
+	a.armed = false
 	v := Vector{
 		Index:  a.index,
 		Thread: a.thread,
-		Counts: a.counts,
+		Counts: m,
 		CPI:    a.cpiSum / float64(a.samples),
 	}
 	d := a.last.Sub(a.first)
@@ -238,24 +283,14 @@ type SpreadPoint struct {
 // instantaneous CPI.
 func Spread(p *profiler.Profile) ([]SpreadPoint, int) {
 	inst := instantaneous(p.Samples)
-	// Rank EIPs by address so the Y axis is stable.
-	uniq := map[uint64]int{}
-	var eips []uint64
-	for i := range p.Samples {
-		if _, ok := uniq[p.Samples[i].EIP]; !ok {
-			uniq[p.Samples[i].EIP] = 0
-			eips = append(eips, p.Samples[i].EIP)
-		}
-	}
-	sort.Slice(eips, func(i, j int) bool { return eips[i] < eips[j] })
-	for r, e := range eips {
-		uniq[e] = r
-	}
+	// The profile's memoized index already ranks EIPs by address (a stable
+	// Y axis); per-sample ranks come with it.
+	eips, ranks := p.EIPIndex()
 	out := make([]SpreadPoint, len(p.Samples))
 	for i := range p.Samples {
 		out[i] = SpreadPoint{
 			Seconds: workload.Seconds(p.Samples[i].Counters.Cycles),
-			EIPRank: uniq[p.Samples[i].EIP],
+			EIPRank: int(ranks[i]),
 			CPI:     inst[i],
 		}
 	}

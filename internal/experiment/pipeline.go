@@ -52,6 +52,12 @@ type Options struct {
 	// Results are bit-for-bit identical at every setting — parallelism
 	// only changes wall-clock time, never output.
 	Parallelism int
+	// TraceWorkers sets the lookahead trace-generation goroutines per
+	// cold collection (profiler.CollectOptions.TraceWorkers). Zero
+	// derives it from Parallelism; negative forces inline generation.
+	// Like Parallelism it is output-invariant, so it participates in
+	// neither the Analyze cache key nor the profile-store key.
+	TraceWorkers int
 }
 
 // Defaults for Options.

@@ -52,8 +52,12 @@ func New(space *addr.Space, name string, arity, rowBytes, maxRows int, pageBase 
 		arity:       arity,
 		rowBytes:    rowBytes,
 		rowsPerPage: rpp,
-		region:      region,
-		pageBase:    pageBase,
+		// The row store's capacity bound is fixed here, so size it once
+		// up front: bulk table loads append millions of rows, and growth
+		// re-copies would dominate a cold collection's heap traffic.
+		data:     make([]int64, 0, maxRows*arity),
+		region:   region,
+		pageBase: pageBase,
 	}
 }
 

@@ -95,13 +95,18 @@ func (w *Workload) Setup(sched *osim.Sched, space *addr.Space, seed uint64) {
 	w.DB = buildDB(space, w.cfg.Scale, rng)
 	w.serverCode = workload.NewCodeRegion(space, "oltp.server", 7000)
 	w.netCode = workload.NewCodeRegion(space, "oltp.net", 3000)
+	// The Zipf tables are pure functions of (n, s) and Draw never mutates
+	// them, so all clients share one pair instead of each paying the
+	// math.Pow construction sweep.
+	zipC := xrand.NewZipf(w.cfg.Scale.Customers, 0.85)
+	zipS := xrand.NewZipf(w.cfg.Scale.StockItems, 0.8)
 	for i := 0; i < w.cfg.Clients; i++ {
 		c := &client{
 			w:    w,
 			x:    db.NewExec(w.DB, rng.Split(uint64(i)+1)),
 			rng:  rng.Split(uint64(i) + 1000),
-			zipC: xrand.NewZipf(w.cfg.Scale.Customers, 0.85),
-			zipS: xrand.NewZipf(w.cfg.Scale.StockItems, 0.8),
+			zipC: zipC,
+			zipS: zipS,
 		}
 		w.Clients = append(w.Clients, c)
 		sched.Add(fmt.Sprintf("odb-c.client%d", i), workload.NewRunner(c))

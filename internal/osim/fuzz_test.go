@@ -32,7 +32,7 @@ func (c *chaosRunner) Step(ev *cpu.BlockEvent) (Action, uint64) {
 		return ActionBlock, 1 // near-immediate wakeup
 	default:
 		ev.PC = c.pc + uint64(c.rng.Intn(64))*64
-		ev.Insts = 1 + c.rng.Intn(30)
+		ev.Insts = int32(1 + c.rng.Intn(30))
 		ev.BaseCPI = 0.3 + c.rng.Float64()
 		if c.rng.Bool(0.3) {
 			ev.AddMem(0x100000000+c.rng.Uint64()%(1<<24), c.rng.Bool(0.5))

@@ -49,6 +49,42 @@ type RunnerFunc func(ev *cpu.BlockEvent) (Action, uint64)
 // Step implements Runner.
 func (f RunnerFunc) Step(ev *cpu.BlockEvent) (Action, uint64) { return f(ev) }
 
+// BatchRunner is implemented by runners that can expose their pending
+// events as a contiguous slice, letting the scheduler retire whole runs per
+// call instead of one virtual Step per block. The delivered stream must be
+// exactly the one Step would produce.
+//
+// Pending returns the next run of undelivered events, generating more on
+// demand if the buffer is dry. A return of (nil, w) with w > 0 means the
+// thread blocks for w cycles — the wait is consumed by the call, so the
+// scheduler must only invoke Pending when committed to acting on the
+// result. A return of (nil, 0) means the thread is done. Consume(n)
+// discards the first n events of the run returned by the last Pending.
+type BatchRunner interface {
+	Runner
+	Pending() (evs []cpu.BlockEvent, wait uint64)
+	Consume(n int)
+}
+
+// Observer receives retired block events (the profiler's hook).
+//
+// SkipUntil lets the batched retirement path elide callbacks: it returns
+// an absolute retired-instruction count before which AfterRetire calls may
+// be skipped (0 = never skip). An observer must answer conservatively — an
+// event is only unobserved when the core's instruction count after retiring
+// it is still strictly below the returned mark — so a sampler returns its
+// next sampling point and a per-event accumulator returns 0.
+type Observer interface {
+	AfterRetire(ev *cpu.BlockEvent)
+	SkipUntil() uint64
+}
+
+// funcObserver adapts a plain callback to Observer; it never skips.
+type funcObserver func(*cpu.BlockEvent)
+
+func (f funcObserver) AfterRetire(ev *cpu.BlockEvent) { f(ev) }
+func (f funcObserver) SkipUntil() uint64              { return 0 }
+
 // TraceBuffered is implemented by runners whose event stream is a pure
 // function of their own state — independent of scheduling order, simulated
 // time, and every other thread — and can therefore be generated ahead of
@@ -173,9 +209,16 @@ type Sched struct {
 	threads []*thread
 	next    int // round-robin cursor
 
-	kernSched addr.Region
-	kernIO    addr.Region
-	kernWalk  uint64
+	kernSched   addr.Region
+	kernIO      addr.Region
+	kernSchedID int32 // interned block id of kernSched's first block
+	kernIOID    int32 // interned block id of kernIO's first block
+	kernWalk    uint64
+	kernEv      cpu.BlockEvent // reused by runKernel (escapes via Observer)
+
+	// scalar forces the per-event reference retirement loop even for
+	// runners that implement BatchRunner (the bit-equality oracle path).
+	scalar bool
 
 	stats Stats
 	idle  uint64 // accumulated idle cycles (kept out of core counters)
@@ -195,12 +238,15 @@ func New(core *cpu.Core, space *addr.Space, cfg Config) *Sched {
 	if cfg.TimeSliceInsts == 0 {
 		cfg.TimeSliceInsts = DefaultConfig().TimeSliceInsts
 	}
-	return &Sched{
+	s := &Sched{
 		cfg:       cfg,
 		core:      core,
 		kernSched: space.AllocKernelCode("kernel.sched", 96<<10),
 		kernIO:    space.AllocKernelCode("kernel.io", 128<<10),
 	}
+	s.kernSchedID = space.BlockIDBase(s.kernSched.Base)
+	s.kernIOID = space.BlockIDBase(s.kernIO.Base)
+	return s
 }
 
 // Add registers a thread and returns its id. Threads added after Run has
@@ -221,6 +267,12 @@ func (s *Sched) Stats() Stats { return s.stats }
 // an early stop are valid but cover only the simulated prefix.
 func (s *Sched) SetStop(stop func() bool) { s.stop = stop }
 
+// SetScalar forces the per-event reference retirement loop even for
+// runners that implement BatchRunner. The retired stream is identical
+// either way (the batched path is the optimization, the scalar path the
+// oracle); only wall-clock time changes.
+func (s *Sched) SetScalar(v bool) { s.scalar = v }
+
 // SetTraceWorkers enables lookahead trace generation: threads whose
 // runners implement TraceBuffered generate their event streams on
 // background goroutines (at most n generating concurrently) while the
@@ -239,15 +291,22 @@ func (s *Sched) ThreadInsts() []uint64 {
 }
 
 // Now returns simulated time in cycles (core cycles plus idle time).
-func (s *Sched) Now() uint64 { return s.core.Counters().Cycles + s.idle }
+func (s *Sched) Now() uint64 { return s.core.Cycles() + s.idle }
 
 // Run executes threads round-robin until maxInsts instructions have
 // retired or every thread is done. observe, if non-nil, is invoked after
 // every retired block (the profiler's hook). It returns the stats so far.
 func (s *Sched) Run(maxInsts uint64, observe func(ev *cpu.BlockEvent)) Stats {
-	var ev cpu.BlockEvent
-	budget := func() bool { return s.core.Counters().Insts < maxInsts }
+	if observe == nil {
+		return s.RunObserved(maxInsts, nil)
+	}
+	return s.RunObserved(maxInsts, funcObserver(observe))
+}
 
+// RunObserved is Run with the richer Observer hook: obs.SkipUntil lets the
+// batched retirement path skip callback dispatch between sampling
+// boundaries. A nil obs disables observation entirely.
+func (s *Sched) RunObserved(maxInsts uint64, obs Observer) Stats {
 	if s.traceWorkers > 0 {
 		pool := NewTracePool(s.traceWorkers)
 		var started []TraceBuffered
@@ -267,7 +326,7 @@ func (s *Sched) Run(maxInsts uint64, observe func(ev *cpu.BlockEvent)) Stats {
 	}
 
 	cur := s.pickReady()
-	for budget() {
+	for s.core.Insts() < maxInsts {
 		if s.stop != nil && s.stop() {
 			break
 		}
@@ -287,42 +346,13 @@ func (s *Sched) Run(maxInsts uint64, observe func(ev *cpu.BlockEvent)) Stats {
 			continue
 		}
 
-		sliceLeft := s.cfg.TimeSliceInsts
-		switched := false
-		for budget() && sliceLeft > 0 {
-			ev.Reset()
-			act, wait := cur.runner.Step(&ev)
-			switch act {
-			case ActionRun:
-				ev.Thread = cur.id
-				s.retire(&ev, cur, observe)
-				if uint64(ev.Insts) >= sliceLeft {
-					sliceLeft = 0
-				} else {
-					sliceLeft -= uint64(ev.Insts)
-				}
-			case ActionBlock:
-				s.stats.IOWaits++
-				s.runKernel(s.kernIO, s.cfg.KernelInstsPerIO, cur, observe)
-				cur.state = stateBlocked
-				cur.wakeAt = s.Now() + wait
-				s.stats.Voluntary++
-				switched = true
-			case ActionYield:
-				s.stats.Voluntary++
-				switched = true
-			case ActionDone:
-				cur.state = stateDone
-				s.stats.Voluntary++
-				switched = true
-			default:
-				panic(fmt.Sprintf("osim: invalid action %d", act))
-			}
-			if switched {
-				break
-			}
+		var switched bool
+		if br, ok := cur.runner.(BatchRunner); ok && !s.scalar {
+			switched = s.runSliceBatched(cur, br, obs, maxInsts)
+		} else {
+			switched = s.runSliceScalar(cur, obs, maxInsts)
 		}
-		if !budget() {
+		if s.core.Insts() >= maxInsts {
 			break
 		}
 		if !switched {
@@ -332,16 +362,110 @@ func (s *Sched) Run(maxInsts uint64, observe func(ev *cpu.BlockEvent)) Stats {
 		s.wakeup()
 		next := s.pickReady()
 		if next != nil && next != cur {
-			s.contextSwitch(next, observe)
+			s.contextSwitch(next, obs)
 		}
 		cur = next
 	}
 	return s.stats
 }
 
+// runSliceScalar runs one time slice of cur through the per-event Step
+// path. It reports whether the thread switched away (blocked, yielded, or
+// finished) before the slice or the budget ran out.
+func (s *Sched) runSliceScalar(cur *thread, obs Observer, maxInsts uint64) (switched bool) {
+	var ev cpu.BlockEvent
+	sliceLeft := s.cfg.TimeSliceInsts
+	for s.core.Insts() < maxInsts && sliceLeft > 0 {
+		ev.Reset()
+		act, wait := cur.runner.Step(&ev)
+		switch act {
+		case ActionRun:
+			ev.Thread = int32(cur.id)
+			s.retire(&ev, cur, obs)
+			if uint64(ev.Insts) >= sliceLeft {
+				sliceLeft = 0
+			} else {
+				sliceLeft -= uint64(ev.Insts)
+			}
+		case ActionBlock:
+			s.block(cur, wait, obs)
+			return true
+		case ActionYield:
+			s.stats.Voluntary++
+			return true
+		case ActionDone:
+			cur.state = stateDone
+			s.stats.Voluntary++
+			return true
+		default:
+			panic(fmt.Sprintf("osim: invalid action %d", act))
+		}
+	}
+	return false
+}
+
+// runSliceBatched runs one time slice of cur by retiring whole runs of
+// pending events per call. Scheduling decisions happen at exactly the same
+// retirement boundaries as the scalar loop: the budget and the slice are
+// re-checked before every run, the run is cut after the event that crosses
+// the nearer of the two, and blocks/completions are only ever discovered at
+// run boundaries — where the scalar loop would discover them too.
+func (s *Sched) runSliceBatched(cur *thread, br BatchRunner, obs Observer, maxInsts uint64) (switched bool) {
+	sliceLeft := s.cfg.TimeSliceInsts
+	for sliceLeft > 0 {
+		done := s.core.Insts()
+		if done >= maxInsts {
+			return false
+		}
+		pend, wait := br.Pending()
+		if len(pend) == 0 {
+			if wait > 0 {
+				s.block(cur, wait, obs)
+			} else {
+				cur.state = stateDone
+				s.stats.Voluntary++
+			}
+			return true
+		}
+
+		// Cut the run after the event that crosses the nearer of the slice
+		// and the budget (the scalar loop retires the crossing event, then
+		// stops). Thread attribution happens in the same pass.
+		limit := sliceLeft
+		if rem := maxInsts - done; rem < limit {
+			limit = rem
+		}
+		var sum, kern uint64
+		n := 0
+		for i := range pend {
+			pend[i].Thread = int32(cur.id)
+			insts := uint64(pend[i].Insts)
+			sum += insts
+			if addr.IsKernel(pend[i].PC) {
+				kern += insts
+			}
+			n = i + 1
+			if sum >= limit {
+				break
+			}
+		}
+		s.retireRun(pend[:n], obs)
+		cur.insts += sum
+		s.stats.KernelInsts += kern
+		s.stats.UserInsts += sum - kern
+		br.Consume(n)
+		if sum >= sliceLeft {
+			sliceLeft = 0
+		} else {
+			sliceLeft -= sum
+		}
+	}
+	return false
+}
+
 // retire sends the event to the core and the observer, attributing
 // instructions to the thread and to user/kernel mode.
-func (s *Sched) retire(ev *cpu.BlockEvent, t *thread, observe func(*cpu.BlockEvent)) {
+func (s *Sched) retire(ev *cpu.BlockEvent, t *thread, obs Observer) {
 	s.core.Retire(ev)
 	t.insts += uint64(ev.Insts)
 	if addr.IsKernel(ev.PC) {
@@ -349,35 +473,78 @@ func (s *Sched) retire(ev *cpu.BlockEvent, t *thread, observe func(*cpu.BlockEve
 	} else {
 		s.stats.UserInsts += uint64(ev.Insts)
 	}
-	if observe != nil {
-		observe(ev)
+	if obs != nil {
+		obs.AfterRetire(ev)
 	}
+}
+
+// retireRun retires a run of already-attributed events, splitting it into
+// maximal unobserved stretches (retired with no callback dispatch, as
+// permitted by obs.SkipUntil) and individually observed boundary events.
+// The core sees the events in order either way.
+func (s *Sched) retireRun(evs []cpu.BlockEvent, obs Observer) {
+	if obs == nil {
+		s.core.RetireBatch(evs)
+		return
+	}
+	i := 0
+	for i < len(evs) {
+		if skip := obs.SkipUntil(); skip > s.core.Insts() {
+			// Events are unobservable while the post-retirement count stays
+			// strictly below skip; take the longest such prefix.
+			free := skip - s.core.Insts()
+			var sum uint64
+			j := i
+			for j < len(evs) && sum+uint64(evs[j].Insts) < free {
+				sum += uint64(evs[j].Insts)
+				j++
+			}
+			if j > i {
+				s.core.RetireBatch(evs[i:j])
+				i = j
+				continue
+			}
+		}
+		s.core.Retire(&evs[i])
+		obs.AfterRetire(&evs[i])
+		i++
+	}
+}
+
+// block charges the I/O submission path and puts t to sleep.
+func (s *Sched) block(t *thread, wait uint64, obs Observer) {
+	s.stats.IOWaits++
+	s.runKernel(s.kernIO, s.kernIOID, s.cfg.KernelInstsPerIO, t, obs)
+	t.state = stateBlocked
+	t.wakeAt = s.Now() + wait
+	s.stats.Voluntary++
 }
 
 // runKernel retires ~insts instructions of kernel code from region on
 // behalf of thread t, walking distinct kernel blocks so kernel EIPs show a
 // realistic spread in the profile.
-func (s *Sched) runKernel(region addr.Region, insts int, t *thread, observe func(*cpu.BlockEvent)) {
-	var ev cpu.BlockEvent
+func (s *Sched) runKernel(region addr.Region, idBase int32, insts int, t *thread, obs Observer) {
+	ev := &s.kernEv
 	const blockInsts = 16
 	for done := 0; done < insts; done += blockInsts {
 		ev.Reset()
 		s.kernWalk = s.kernWalk*6364136223846793005 + 1442695040888963407
 		off := (s.kernWalk >> 33) % (region.Size / 64)
 		ev.PC = region.Base + off*64
-		ev.Thread = t.id
+		ev.ID = idBase + int32(off)
+		ev.Thread = int32(t.id)
 		ev.Insts = blockInsts
 		ev.BaseCPI = 0.8 // kernel code: low ILP, pointer chasing
 		ev.HasBranch = true
 		ev.Taken = s.kernWalk&1 == 0
-		s.retire(&ev, t, observe)
+		s.retire(ev, t, obs)
 	}
 }
 
 // contextSwitch charges the scheduler path and cache pollution.
-func (s *Sched) contextSwitch(to *thread, observe func(*cpu.BlockEvent)) {
+func (s *Sched) contextSwitch(to *thread, obs Observer) {
 	s.stats.ContextSwitches++
-	s.runKernel(s.kernSched, s.cfg.KernelInstsPerSwitch, to, observe)
+	s.runKernel(s.kernSched, s.kernSchedID, s.cfg.KernelInstsPerSwitch, to, obs)
 	s.core.ContextSwitch(s.cfg.SwitchPollution)
 }
 

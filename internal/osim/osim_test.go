@@ -15,7 +15,7 @@ type loopRunner struct {
 
 func (l *loopRunner) Step(ev *cpu.BlockEvent) (Action, uint64) {
 	ev.PC = l.pc
-	ev.Insts = l.insts
+	ev.Insts = int32(l.insts)
 	ev.BaseCPI = 0.5
 	return ActionRun, 0
 }
@@ -230,7 +230,7 @@ func TestThreadAttributionOnSamples(t *testing.T) {
 	wrong := 0
 	s.Run(50000, func(ev *cpu.BlockEvent) {
 		if !addr.IsKernel(ev.PC) {
-			if (ev.PC == 0x400000 && ev.Thread != a) || (ev.PC == 0x401000 && ev.Thread != b) {
+			if (ev.PC == 0x400000 && int(ev.Thread) != a) || (ev.PC == 0x401000 && int(ev.Thread) != b) {
 				wrong++
 			}
 		}

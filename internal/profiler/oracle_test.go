@@ -1,0 +1,82 @@
+package profiler_test
+
+// The batched-retirement oracle: the scheduler's dense interned fast path
+// (osim.BatchRunner consumption, skip-aware observation, slice-indexed BBV
+// accumulation) must produce EncodeResult bytes identical to the retained
+// per-event scalar loop (CollectOptions.Scalar) for every registered
+// workload. This is the contract that makes the fast path an optimization
+// rather than a model change — the same discipline the rtree/kmeans
+// reference kernels enforce for the analysis side.
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/profiler"
+	"repro/internal/workload"
+	_ "repro/internal/workload/all" // register every workload
+)
+
+// oracleIntervals keeps per-workload runtime small while still crossing
+// many time slices, context switches, I/O waits, and sample boundaries.
+const oracleIntervals = 6
+
+// shortOracleSet covers each workload family when -short trims the sweep.
+var shortOracleSet = map[string]bool{
+	"spec.gzip": true, "odb-c": true, "sjas": true, "odb-h.q13": true,
+}
+
+func encodeNamed(t *testing.T, name string, opt profiler.CollectOptions) []byte {
+	t.Helper()
+	res, err := profiler.CollectByName(name, opt)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return profiler.EncodeResult(res)
+}
+
+// TestBatchedCollectMatchesScalarOracle sweeps every registered workload
+// and proves the batched path bit-equal to the scalar reference, with and
+// without lookahead trace generation.
+func TestBatchedCollectMatchesScalarOracle(t *testing.T) {
+	for _, name := range workload.Names() {
+		if testing.Short() && !shortOracleSet[name] {
+			continue
+		}
+		t.Run(name, func(t *testing.T) {
+			opt := profiler.CollectOptions{Seed: 1, Intervals: oracleIntervals}
+			opt.Scalar = true
+			want := encodeNamed(t, name, opt)
+			opt.Scalar = false
+			if got := encodeNamed(t, name, opt); !bytes.Equal(got, want) {
+				t.Error("batched collection differs from scalar reference")
+			}
+			opt.TraceWorkers = 2
+			if got := encodeNamed(t, name, opt); !bytes.Equal(got, want) {
+				t.Error("batched collection with TraceWorkers=2 differs from scalar reference")
+			}
+		})
+	}
+}
+
+// TestBatchedBBVMatchesScalarOracle repeats the sweep with full
+// basic-block vectors on, pinning the dense interned BBV accumulator
+// (slice counts + touched-list reset + id validation) to the scalar
+// map-based stream. BBV collection observes every retirement, so this
+// also exercises the batched path with skipping disabled.
+func TestBatchedBBVMatchesScalarOracle(t *testing.T) {
+	for _, name := range workload.Names() {
+		if testing.Short() && !shortOracleSet[name] {
+			continue
+		}
+		t.Run(name, func(t *testing.T) {
+			opt := profiler.CollectOptions{Seed: 1, Intervals: oracleIntervals, BuildBBV: true}
+			opt.Scalar = true
+			want := encodeNamed(t, name, opt)
+			opt.Scalar = false
+			if got := encodeNamed(t, name, opt); !bytes.Equal(got, want) {
+				t.Error("batched BBV collection differs from scalar reference")
+			}
+		})
+	}
+}

@@ -12,6 +12,9 @@ package profiler
 import (
 	"context"
 	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/addr"
 	"repro/internal/cpu"
@@ -34,17 +37,58 @@ type Profile struct {
 	Machine  string
 	Period   uint64 // sampling period in instructions
 	Samples  []Sample
+
+	// idx is the memoized dense EIP index (see EIPIndex). Samples are
+	// immutable once a profile is built, so it is computed at most once.
+	idx     *profIndex
+	idxOnce sync.Once
+}
+
+// profIndex is a profile's dense EIP index: every analysis that used to
+// rebuild a map[uint64]-keyed histogram per call (UniqueEIPs, the EIPV
+// builders, the spread metric) instead indexes slices by rank.
+type profIndex struct {
+	eips  []uint64 // sorted unique sampled EIPs
+	ranks []int32  // per-sample position of Sample.EIP in eips
+}
+
+func (p *Profile) index() *profIndex {
+	p.idxOnce.Do(func() {
+		seen := make(map[uint64]struct{}, len(p.Samples)/2)
+		for i := range p.Samples {
+			seen[p.Samples[i].EIP] = struct{}{}
+		}
+		idx := &profIndex{
+			eips:  make([]uint64, 0, len(seen)),
+			ranks: make([]int32, len(p.Samples)),
+		}
+		for eip := range seen {
+			idx.eips = append(idx.eips, eip)
+		}
+		sort.Slice(idx.eips, func(a, b int) bool { return idx.eips[a] < idx.eips[b] })
+		rank := make(map[uint64]int32, len(idx.eips))
+		for i, eip := range idx.eips {
+			rank[eip] = int32(i)
+		}
+		for i := range p.Samples {
+			idx.ranks[i] = rank[p.Samples[i].EIP]
+		}
+		p.idx = idx
+	})
+	return p.idx
+}
+
+// EIPIndex returns the profile's memoized dense EIP index: the sorted
+// unique sampled EIPs, and — parallel to Samples — each sample's position
+// in that list. Callers must not modify the returned slices.
+func (p *Profile) EIPIndex() (eips []uint64, ranks []int32) {
+	idx := p.index()
+	return idx.eips, idx.ranks
 }
 
 // UniqueEIPs returns the number of distinct sampled EIPs (the Y-axis
 // population of the paper's EIP spread plots).
-func (p *Profile) UniqueEIPs() int {
-	seen := make(map[uint64]struct{}, len(p.Samples)/2)
-	for i := range p.Samples {
-		seen[p.Samples[i].EIP] = struct{}{}
-	}
-	return len(seen)
-}
+func (p *Profile) UniqueEIPs() int { return len(p.index().eips) }
 
 // KernelFraction returns the fraction of samples taken in kernel code.
 func (p *Profile) KernelFraction() float64 {
@@ -94,21 +138,44 @@ func New(core *cpu.Core, period uint64) *Sampler {
 	}
 }
 
+// Reserve pre-sizes the sample slice for a run of totalInsts
+// instructions, so a long collection appends without regrowing (the
+// sample stream is the bulk of a run's heap traffic).
+func (s *Sampler) Reserve(totalInsts uint64) {
+	if need := int(totalInsts/s.period) + 2; cap(s.prof.Samples) < need {
+		samples := make([]Sample, len(s.prof.Samples), need)
+		copy(samples, s.prof.Samples)
+		s.prof.Samples = samples
+	}
+}
+
 // Observe is the scheduler's per-retirement hook: when the retired
 // instruction count crosses a sampling boundary, the current block's EIP
-// is recorded with the counter totals.
+// is recorded with the counter totals. The cheap Insts read up front keeps
+// the between-samples case free of the full counter-block copy.
 func (s *Sampler) Observe(ev *cpu.BlockEvent) {
+	if s.core.Insts() < s.nextAt {
+		return
+	}
 	ctr := s.core.Counters()
 	for ctr.Insts >= s.nextAt {
 		s.prof.Samples = append(s.prof.Samples, Sample{
 			EIP:      ev.PC,
-			Thread:   ev.Thread,
+			Thread:   int(ev.Thread),
 			Kernel:   addr.IsKernel(ev.PC),
 			Counters: ctr,
 		})
 		s.nextAt += s.period
 	}
 }
+
+// AfterRetire implements osim.Observer.
+func (s *Sampler) AfterRetire(ev *cpu.BlockEvent) { s.Observe(ev) }
+
+// SkipUntil implements osim.Observer: Observe is a no-op until the retired
+// count reaches the next sampling point, so the scheduler's batched path
+// may elide calls below it.
+func (s *Sampler) SkipUntil() uint64 { return s.nextAt }
 
 // Profile returns the collected profile.
 func (s *Sampler) Profile() *Profile { return s.prof }
@@ -146,6 +213,10 @@ type CollectOptions struct {
 	// time, never output — so TraceWorkers is deliberately excluded from
 	// profile-store keys.
 	TraceWorkers int
+	// Scalar forces the scheduler's per-event reference retirement loop
+	// instead of the batched fast path. Output is identical either way;
+	// the oracle tests and benchmarks use it to prove exactly that.
+	Scalar bool
 }
 
 // CollectResult bundles everything a collection run produces.
@@ -161,6 +232,10 @@ type CollectResult struct {
 	// was set: one vector of exact block execution counts per interval,
 	// with the interval's exact CPI.
 	BBV []BlockVector
+	// MemRefsDropped counts memory references the workload models tried to
+	// attach beyond cpu.MaxMemRefs per block; nonzero means the collected
+	// cache behavior under-represents the model's intent.
+	MemRefsDropped uint64
 }
 
 // BlockVector is one interval's exact code-execution histogram.
@@ -171,27 +246,81 @@ type BlockVector struct {
 }
 
 // bbvBuilder accumulates full block vectors from the retirement stream.
+// Per-block counts are a dense slice indexed by the event's interned block
+// id — no hashing on the per-retirement path — with a touched-list so the
+// per-interval reset is proportional to the blocks actually executed. Each
+// id is validated against the event's PC; since distinct blocks have
+// distinct ids, agreement proves the id is the right one.
 type bbvBuilder struct {
 	core     *cpu.Core
 	interval uint64
-	cur      map[uint64]int
+	idPC     []uint64 // interned id -> block PC (validation and flush)
+	counts   []int32  // executions this interval, indexed by block id
+	touched  []int32  // ids with nonzero counts
 	last     cpu.Counters
 	out      []BlockVector
 }
 
-func (b *bbvBuilder) observe(ev *cpu.BlockEvent) {
-	if b.cur == nil {
-		b.cur = make(map[uint64]int, 4096)
+func newBBVBuilder(core *cpu.Core, space *addr.Space, interval uint64) *bbvBuilder {
+	idPC := space.BlockPCs()
+	return &bbvBuilder{
+		core:     core,
+		interval: interval,
+		idPC:     idPC,
+		counts:   make([]int32, len(idPC)),
 	}
-	b.cur[ev.PC]++
-	ctr := b.core.Counters()
-	if ctr.Insts-b.last.Insts >= b.interval {
+}
+
+func (b *bbvBuilder) observe(ev *cpu.BlockEvent) {
+	id := ev.ID
+	if int(id) >= len(b.idPC) || b.idPC[id] != ev.PC {
+		panic(fmt.Sprintf("profiler: block id %d does not intern PC %#x", id, ev.PC))
+	}
+	if b.counts[id] == 0 {
+		b.touched = append(b.touched, id)
+	}
+	b.counts[id]++
+	if b.core.Insts()-b.last.Insts >= b.interval {
+		ctr := b.core.Counters()
 		d := ctr.Sub(b.last)
-		b.out = append(b.out, BlockVector{Index: len(b.out), Counts: b.cur, CPI: d.CPI()})
-		b.cur = make(map[uint64]int, len(b.cur))
+		b.out = append(b.out, BlockVector{Index: len(b.out), Counts: b.flush(), CPI: d.CPI()})
 		b.last = ctr
 	}
 }
+
+// flush converts the interval's dense counts to the public PC-keyed map
+// and sparse-resets the accumulator.
+func (b *bbvBuilder) flush() map[uint64]int {
+	m := make(map[uint64]int, len(b.touched))
+	for _, id := range b.touched {
+		m[b.idPC[id]] = int(b.counts[id])
+		b.counts[id] = 0
+	}
+	b.touched = b.touched[:0]
+	return m
+}
+
+// sampledObserver feeds both the sampler and the BBV builder. The BBV
+// side needs every retirement, so it never lets the scheduler skip.
+type sampledObserver struct {
+	s   *Sampler
+	bbv *bbvBuilder
+}
+
+func (o *sampledObserver) AfterRetire(ev *cpu.BlockEvent) {
+	o.s.Observe(ev)
+	o.bbv.observe(ev)
+}
+
+func (o *sampledObserver) SkipUntil() uint64 { return 0 }
+
+// memRefsDroppedTotal accumulates MemRefsDropped over every collection in
+// the process (the -cachestats / metrics surface for truncation).
+var memRefsDroppedTotal atomic.Uint64
+
+// MemRefsDroppedTotal reports how many memory references were dropped by
+// cpu.BlockEvent.AddMem across all collections this process has run.
+func MemRefsDroppedTotal() uint64 { return memRefsDroppedTotal.Load() }
 
 // Collect runs the named workload against a fresh simulated machine and
 // returns its profile. It is the one-call entry point the experiments and
@@ -215,6 +344,7 @@ func Collect(w workload.Workload, opt CollectOptions) (*CollectResult, error) {
 	space := addr.NewSpace()
 	sched := osim.New(core, space, osim.DefaultConfig())
 	sched.SetTraceWorkers(opt.TraceWorkers)
+	sched.SetScalar(opt.Scalar)
 	w.Setup(sched, space, opt.Seed)
 	if err := ctxErr(opt.Ctx); err != nil {
 		return nil, err
@@ -227,18 +357,15 @@ func Collect(w workload.Workload, opt CollectOptions) (*CollectResult, error) {
 	s := New(core, period)
 	s.prof.Workload = w.Name()
 
-	observe := s.Observe
+	var obs osim.Observer = s
 	var bbv *bbvBuilder
 	if opt.BuildBBV {
 		ii := opt.BBVIntervalInsts
 		if ii == 0 {
 			ii = workload.IntervalInsts
 		}
-		bbv = &bbvBuilder{core: core, interval: ii}
-		observe = func(ev *cpu.BlockEvent) {
-			s.Observe(ev)
-			bbv.observe(ev)
-		}
+		bbv = newBBVBuilder(core, space, ii)
+		obs = &sampledObserver{s: s, bbv: bbv}
 	}
 
 	if opt.Ctx != nil {
@@ -255,7 +382,8 @@ func Collect(w workload.Workload, opt CollectOptions) (*CollectResult, error) {
 	}
 
 	maxInsts := uint64(opt.Intervals) * workload.IntervalInsts
-	osStats := sched.Run(maxInsts, observe)
+	s.Reserve(maxInsts)
+	osStats := sched.RunObserved(maxInsts, obs)
 	if opt.Ctx != nil && opt.Ctx.Err() != nil {
 		return nil, opt.Ctx.Err()
 	}
@@ -264,8 +392,14 @@ func Collect(w workload.Workload, opt CollectOptions) (*CollectResult, error) {
 		Counters: core.Counters(),
 		OS:       osStats,
 		Seconds:  workload.Seconds(sched.Now()),
-		Space:    space,
+		// The returned Space is rebuilt from the region list alone, exactly
+		// as a store decode rebuilds it: block-interning state is
+		// collection-time scaffolding and must not distinguish a live
+		// result from a round-tripped one.
+		Space:          addr.SpaceFromRegions(space.Regions()),
+		MemRefsDropped: core.MemRefsDropped(),
 	}
+	memRefsDroppedTotal.Add(res.MemRefsDropped)
 	if bbv != nil {
 		res.BBV = bbv.out
 	}

@@ -40,7 +40,7 @@ const resultMagic = "FZPR"
 // change — including field additions to cpu.Counters or osim.Stats, which
 // the codec spells out field by field below — so old entries are rejected
 // (and transparently recomputed) instead of misdecoded.
-const resultVersion = 1
+const resultVersion = 2
 
 // ErrCorrupt marks an entry that failed structural or checksum
 // validation; the store responds by recomputing and overwriting.
@@ -82,6 +82,7 @@ func EncodeResult(res *CollectResult) []byte {
 	buf = appendCounterDelta(buf, res.Counters, cpu.Counters{})
 	buf = appendOSStats(buf, res.OS)
 	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(res.Seconds))
+	buf = binary.AppendUvarint(buf, res.MemRefsDropped)
 
 	var regions []addr.Region
 	if res.Space != nil {
@@ -160,6 +161,7 @@ func DecodeResult(data []byte) (*CollectResult, error) {
 	res.Counters = d.counterDelta(cpu.Counters{})
 	res.OS = d.osStats()
 	res.Seconds = math.Float64frombits(d.u64())
+	res.MemRefsDropped = d.uvarint()
 
 	nr := d.uvarint()
 	if d.err == nil && nr > uint64(len(d.buf)) {

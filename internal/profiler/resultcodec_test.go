@@ -61,6 +61,21 @@ func TestResultCodecRoundTrip(t *testing.T) {
 	}
 }
 
+// TestMemRefsDroppedRoundTrips: the v2 truncation counter survives the
+// codec so stored entries report drops exactly like live collections.
+func TestMemRefsDroppedRoundTrips(t *testing.T) {
+	res := collectFixture(t, false)
+	res.MemRefsDropped = 123456789
+	got, err := DecodeResult(EncodeResult(res))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.MemRefsDropped != res.MemRefsDropped {
+		t.Fatalf("MemRefsDropped = %d after round trip, want %d",
+			got.MemRefsDropped, res.MemRefsDropped)
+	}
+}
+
 // TestEncodeDeterministic: the same result must encode to identical bytes
 // every time (BBV maps are the only unordered source, and must be sorted).
 func TestEncodeDeterministic(t *testing.T) {

@@ -18,7 +18,8 @@ import (
 // Supported parameters mirror the CLI flags:
 //
 //	intervals, warmup, seed, interval-insts, period, max-leaves, folds,
-//	parallelism (ints), threads (bool), machine (itanium2|pentium4|xeon),
+//	parallelism, trace-workers (ints), threads (bool),
+//	machine (itanium2|pentium4|xeon),
 //	timeout (Go duration; handled by requestTimeout, accepted here).
 func optionsFromQuery(base experiment.Options, q url.Values) (experiment.Options, error) {
 	opt := base
@@ -45,6 +46,8 @@ func optionsFromQuery(base experiment.Options, q url.Values) (experiment.Options
 			opt.Folds, err = parseInt(name, val)
 		case "parallelism":
 			opt.Parallelism, err = parseInt(name, val)
+		case "trace-workers":
+			opt.TraceWorkers, err = parseInt(name, val)
 		case "threads":
 			opt.ThreadSeparated, err = strconv.ParseBool(val)
 			if err != nil {

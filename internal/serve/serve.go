@@ -40,6 +40,7 @@ import (
 	fuzzyphase "repro"
 	"repro/internal/experiment"
 	"repro/internal/metrics"
+	"repro/internal/profiler"
 	"repro/internal/profstore"
 )
 
@@ -173,6 +174,9 @@ func New(cfg Config) *Server {
 	s.reg.Gauge("fuzzyphase_profilestore_entries",
 		"Profile collections currently retained in memory.",
 		store(func(st profstore.Stats) float64 { return float64(st.Entries) }))
+	s.reg.CounterFunc("fuzzyphase_collect_mem_refs_dropped",
+		"Memory references dropped by block-event truncation across all collections (workload truncation indicator).",
+		func() float64 { return float64(profiler.MemRefsDroppedTotal()) })
 	s.reg.Gauge("fuzzyphase_goroutines", "Live goroutines.",
 		func() float64 { return float64(runtime.NumGoroutine()) })
 

@@ -26,7 +26,6 @@ import (
 	"sort"
 
 	"repro/internal/addr"
-	"repro/internal/cpu"
 	"repro/internal/osim"
 	"repro/internal/workload"
 	"repro/internal/xrand"
@@ -155,7 +154,6 @@ type gen struct {
 	branchAdj float64 // BranchDrift state
 	ilpAdj    float64 // ILPNoise state
 
-	ev cpu.BlockEvent
 }
 
 // Burst implements workload.Gen: a slice of the current phase.
@@ -169,31 +167,31 @@ func (g *gen) Burst(e *workload.Emitter) {
 
 	const blockInsts = 12
 	for n := 0; n < 64 && g.remaining > 0; n++ {
-		g.ev.Reset()
+		ev := e.Alloc()
 		if ph.Loopy {
-			g.ev.PC = code.SeqPC()
+			code.SeqPC().Assign(ev)
 		} else {
-			g.ev.PC = code.NextPC()
+			code.NextPC().Assign(ev)
 		}
-		g.ev.Insts = blockInsts
-		g.ev.BaseCPI = ph.BaseCPI * (1 + g.ilpAdj)
-		if g.ev.BaseCPI < 0.25 {
-			g.ev.BaseCPI = 0.25
+		ev.Insts = blockInsts
+		ev.BaseCPI = ph.BaseCPI * (1 + g.ilpAdj)
+		if ev.BaseCPI < 0.25 {
+			ev.BaseCPI = 0.25
 		}
 		if ph.RefsPer4 > 0 && n%4 < ph.RefsPer4 {
-			g.ev.AddMem(g.ref(ph, data, n), false)
+			ev.AddMem(g.ref(ph, data, n), false)
 			if ph.Pattern == PointerChase {
-				g.ev.ExtraStall = 20 // serialized dependent loads
+				ev.ExtraStall = 20 // serialized dependent loads
 			}
 		}
-		g.ev.HasBranch = true
+		ev.HasBranch = true
 		br := ph.BranchRand + g.branchAdj
 		if g.rng.Float64() < br {
-			g.ev.Taken = g.rng.Bool(0.5)
+			ev.Taken = g.rng.Bool(0.5)
 		} else {
-			g.ev.Taken = n%8 != 7 // predictable loop branch
+			ev.Taken = n%8 != 7 // predictable loop branch
 		}
-		e.Emit(&g.ev)
+		e.Commit(ev)
 		if uint64(blockInsts) >= g.remaining {
 			g.remaining = 0
 		} else {

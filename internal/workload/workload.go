@@ -46,12 +46,26 @@ func Seconds(cycles uint64) float64 {
 	return float64(cycles) * Scale / ClockHz
 }
 
+// BlockRef identifies one basic block: its simulated PC and the dense
+// interned id addr.Space assigned to it at region allocation. Walk methods
+// return BlockRef rather than a bare PC so every emit site carries the id
+// to the event stream, where slice-indexed accumulators (the BBV builder)
+// use it in place of PC hashing.
+type BlockRef struct {
+	PC uint64
+	ID int32
+}
+
+// Assign stamps the block's PC and interned id onto an event.
+func (b BlockRef) Assign(ev *cpu.BlockEvent) { ev.PC, ev.ID = b.PC, b.ID }
+
 // CodeRegion is a logical routine (or subsystem) occupying a contiguous
 // code region of `blocks` distinct basic blocks, one 64-byte line apart.
 // Walking a region touches its addresses for real, so instruction-cache
 // pressure emerges from footprint rather than from an assumed miss rate.
 type CodeRegion struct {
 	Region addr.Region
+	idBase int32
 	blocks int
 	walk   uint64
 	seq    int
@@ -68,34 +82,42 @@ func NewCodeRegion(space *addr.Space, name string, blocks int) *CodeRegion {
 		panic(fmt.Sprintf("workload: NewCodeRegion %q blocks=%d", name, blocks))
 	}
 	r := space.AllocCode(name, uint64(blocks)*BlockSpacing)
-	return &CodeRegion{Region: r, blocks: blocks, walk: r.Base ^ 0x9e3779b97f4a7c15}
+	return &CodeRegion{
+		Region: r,
+		idBase: space.BlockIDBase(r.Base),
+		blocks: blocks,
+		walk:   r.Base ^ 0x9e3779b97f4a7c15,
+	}
 }
 
 // Blocks returns the number of distinct block addresses.
 func (c *CodeRegion) Blocks() int { return c.blocks }
 
-// PC returns the address of block i (mod the region size).
-func (c *CodeRegion) PC(i int) uint64 {
+// PC returns block i (mod the region size).
+func (c *CodeRegion) PC(i int) BlockRef {
 	i %= c.blocks
 	if i < 0 {
 		i += c.blocks
 	}
-	return c.Region.Base + uint64(i)*BlockSpacing
+	return BlockRef{
+		PC: c.Region.Base + uint64(i)*BlockSpacing,
+		ID: c.idBase + int32(i),
+	}
 }
 
-// NextPC returns the next address of a deterministic pseudo-random walk
+// NextPC returns the next block of a deterministic pseudo-random walk
 // over the region, modeling control flow that wanders a large routine.
-func (c *CodeRegion) NextPC() uint64 {
+func (c *CodeRegion) NextPC() BlockRef {
 	c.walk = c.walk*6364136223846793005 + 1442695040888963407
 	return c.PC(int((c.walk >> 33) % uint64(c.blocks)))
 }
 
-// SeqPC returns the next address of a sequential wrap-around walk,
+// SeqPC returns the next block of a sequential wrap-around walk,
 // modeling straight-line/loopy code.
-func (c *CodeRegion) SeqPC() uint64 {
-	pc := c.PC(c.seq)
+func (c *CodeRegion) SeqPC() BlockRef {
+	b := c.PC(c.seq)
 	c.seq = (c.seq + 1) % c.blocks
-	return pc
+	return b
 }
 
 // hotWindow is the size (in blocks) of HotPC's locality window, and
@@ -111,7 +133,7 @@ const (
 // still covers the whole footprint — the "large but flat" EIP profile of
 // the server workloads — without charging a cold instruction miss on every
 // single block.
-func (c *CodeRegion) HotPC() uint64 {
+func (c *CodeRegion) HotPC() BlockRef {
 	c.walk = c.walk*6364136223846793005 + 1442695040888963407
 	r := c.walk >> 33
 	c.hot++
@@ -124,29 +146,60 @@ func (c *CodeRegion) HotPC() uint64 {
 
 // Emitter buffers the block events produced by one burst of workload
 // execution, so workload logic can be written as ordinary sequential code
-// while the scheduler consumes events one at a time.
+// while the scheduler consumes events one at a time or — the hot path — in
+// contiguous runs.
+//
+// Events and waits are kept in separate slices: waits are rare, so pending
+// events form a plain []cpu.BlockEvent run the scheduler can retire
+// directly from the buffer. A waitMark's pos is the number of events
+// emitted before it, i.e. the wait is delivered just before evs[pos].
 type Emitter struct {
-	items []item
-	head  int
+	evs   []cpu.BlockEvent
+	waits []waitMark
+	head  int // next undelivered event
+	wHead int // next undelivered wait
 	done  bool
 	insts uint64
 }
 
-type item struct {
-	ev   cpu.BlockEvent
-	wait uint64 // >0: block for this many cycles instead of retiring
+type waitMark struct {
+	pos    int    // delivered before evs[pos]
+	cycles uint64 // block for this many cycles
 }
 
 // Emit appends a computed block event (copied).
 func (e *Emitter) Emit(ev *cpu.BlockEvent) {
-	e.items = append(e.items, item{ev: *ev})
+	e.evs = append(e.evs, *ev)
 	e.insts += uint64(ev.Insts)
 }
 
-// EmitBlock is a convenience for the common case: one block at pc with the
+// Alloc returns a reset event slot at the tail of the buffer for in-place
+// filling, avoiding Emit's struct copy on hot emit paths. The caller must
+// finish with Commit before invoking any other Emitter method — the pointer
+// aliases the buffer and is invalidated by the next append.
+func (e *Emitter) Alloc() *cpu.BlockEvent {
+	if len(e.evs) == cap(e.evs) {
+		e.evs = append(e.evs, cpu.BlockEvent{})
+	} else {
+		e.evs = e.evs[:len(e.evs)+1]
+		e.evs[len(e.evs)-1].Reset()
+	}
+	return &e.evs[len(e.evs)-1]
+}
+
+// Commit finalizes an event obtained from Alloc, folding its instruction
+// count into the emitter's accounting.
+func (e *Emitter) Commit(ev *cpu.BlockEvent) {
+	e.insts += uint64(ev.Insts)
+}
+
+// EmitBlock is a convenience for the common case: one block b with the
 // given size and inherent CPI, no memory references.
-func (e *Emitter) EmitBlock(pc uint64, insts int, baseCPI float64) {
-	e.items = append(e.items, item{ev: cpu.BlockEvent{PC: pc, Insts: insts, BaseCPI: baseCPI}})
+func (e *Emitter) EmitBlock(b BlockRef, insts int, baseCPI float64) {
+	ev := e.Alloc()
+	ev.PC, ev.ID = b.PC, b.ID
+	ev.Insts = int32(insts)
+	ev.BaseCPI = baseCPI
 	e.insts += uint64(insts)
 }
 
@@ -157,25 +210,60 @@ func (e *Emitter) InstsEmitted() uint64 { return e.insts }
 
 // Wait appends a blocking I/O wait of the given duration.
 func (e *Emitter) Wait(cycles uint64) {
-	e.items = append(e.items, item{wait: cycles})
+	e.waits = append(e.waits, waitMark{pos: len(e.evs), cycles: cycles})
 }
 
 // Done marks the generator finished; no more bursts will be requested.
 func (e *Emitter) Done() { e.done = true }
 
-// Pending returns the number of undelivered items.
-func (e *Emitter) Pending() int { return len(e.items) - e.head }
+// Pending returns the number of undelivered items (events plus waits).
+func (e *Emitter) Pending() int {
+	return len(e.evs) - e.head + len(e.waits) - e.wHead
+}
 
-func (e *Emitter) pop() (item, bool) {
-	if e.head >= len(e.items) {
-		// Reset the buffer for the next burst, reusing capacity.
-		e.items = e.items[:0]
-		e.head = 0
-		return item{}, false
+// reset clears a fully-drained buffer for the next burst, reusing capacity.
+func (e *Emitter) reset() {
+	e.evs = e.evs[:0]
+	e.waits = e.waits[:0]
+	e.head, e.wHead = 0, 0
+}
+
+// pop delivers the next item in emission order: a wait (wait > 0) or one
+// event. ok is false when the buffer is drained (which resets it).
+func (e *Emitter) pop() (ev cpu.BlockEvent, wait uint64, ok bool) {
+	if e.wHead < len(e.waits) && e.waits[e.wHead].pos <= e.head {
+		w := e.waits[e.wHead].cycles
+		e.wHead++
+		return cpu.BlockEvent{}, w, true
 	}
-	it := e.items[e.head]
-	e.head++
-	return it, true
+	if e.head < len(e.evs) {
+		ev = e.evs[e.head]
+		e.head++
+		return ev, 0, true
+	}
+	e.reset()
+	return cpu.BlockEvent{}, 0, false
+}
+
+// batch returns the longest run of undelivered events up to the next wait
+// mark, without consuming the events (the caller advances head). If a wait
+// is due first it is consumed and returned (nil, cycles, true). ok is
+// false when the buffer is drained (which resets it).
+func (e *Emitter) batch() (evs []cpu.BlockEvent, wait uint64, ok bool) {
+	if e.wHead < len(e.waits) && e.waits[e.wHead].pos <= e.head {
+		w := e.waits[e.wHead].cycles
+		e.wHead++
+		return nil, w, true
+	}
+	if e.head < len(e.evs) {
+		end := len(e.evs)
+		if e.wHead < len(e.waits) && e.waits[e.wHead].pos < end {
+			end = e.waits[e.wHead].pos
+		}
+		return e.evs[e.head:end], 0, true
+	}
+	e.reset()
+	return nil, 0, false
 }
 
 // Gen is a workload thread's logic: Burst is called whenever the event
@@ -191,6 +279,8 @@ type GenFunc func(e *Emitter)
 func (f GenFunc) Burst(e *Emitter) { f(e) }
 
 // genRunner adapts a Gen to the scheduler's pull-based Runner interface.
+// It also implements osim.BatchRunner, handing the scheduler contiguous
+// runs straight out of the emitter buffer.
 type genRunner struct {
 	gen Gen
 	em  Emitter
@@ -199,26 +289,47 @@ type genRunner struct {
 // NewRunner wraps a burst generator as a scheduler Runner.
 func NewRunner(g Gen) osim.Runner { return &genRunner{gen: g} }
 
+// refill requests one more burst from the generator.
+func (r *genRunner) refill() {
+	before := len(r.em.evs) + len(r.em.waits)
+	r.gen.Burst(&r.em)
+	if !r.em.done && len(r.em.evs)+len(r.em.waits) == before {
+		panic("workload: Burst made no progress")
+	}
+}
+
 // Step implements osim.Runner.
 func (r *genRunner) Step(ev *cpu.BlockEvent) (osim.Action, uint64) {
 	for {
-		if it, ok := r.em.pop(); ok {
-			if it.wait > 0 {
-				return osim.ActionBlock, it.wait
+		if e, wait, ok := r.em.pop(); ok {
+			if wait > 0 {
+				return osim.ActionBlock, wait
 			}
-			*ev = it.ev
+			*ev = e
 			return osim.ActionRun, 0
 		}
 		if r.em.done {
 			return osim.ActionDone, 0
 		}
-		before := len(r.em.items)
-		r.gen.Burst(&r.em)
-		if !r.em.done && len(r.em.items) == before {
-			panic("workload: Burst made no progress")
-		}
+		r.refill()
 	}
 }
+
+// Pending implements osim.BatchRunner.
+func (r *genRunner) Pending() ([]cpu.BlockEvent, uint64) {
+	for {
+		if evs, wait, ok := r.em.batch(); ok {
+			return evs, wait
+		}
+		if r.em.done {
+			return nil, 0
+		}
+		r.refill()
+	}
+}
+
+// Consume implements osim.BatchRunner.
+func (r *genRunner) Consume(n int) { r.em.head += n }
 
 // Lookahead tuning: producers hand chunks of this many items to the
 // scheduler over a channel buffered this many chunks deep, bounding each
@@ -228,20 +339,29 @@ const (
 	lookaheadDepth = 4
 )
 
+// trace is one lookahead chunk: a run of events plus the wait marks that
+// interleave them, with positions relative to the chunk's own evs.
+type trace struct {
+	evs   []cpu.BlockEvent
+	waits []waitMark
+}
+
 // lookaheadRunner adapts a *trace-independent* Gen to the scheduler. Until
 // StartLookahead is called it behaves exactly like the inline genRunner;
 // afterwards a producer goroutine runs the Gen ahead of retirement and the
 // scheduler consumes buffered chunks in generation order, so the delivered
-// stream is identical either way.
+// stream is identical either way. Like genRunner it implements
+// osim.BatchRunner, serving runs directly out of the current chunk.
 type lookaheadRunner struct {
 	inner genRunner
 
-	ch   chan []item
+	ch   chan trace
 	stop chan struct{}
 	wg   sync.WaitGroup
 
-	cur []item
-	idx int
+	cur  trace
+	idx  int // next undelivered event in cur.evs
+	wIdx int // next undelivered wait in cur.waits
 }
 
 // NewIndependentRunner wraps a burst generator whose output is provably
@@ -262,21 +382,63 @@ func (r *lookaheadRunner) Step(ev *cpu.BlockEvent) (osim.Action, uint64) {
 		return r.inner.Step(ev)
 	}
 	for {
-		if r.idx < len(r.cur) {
-			it := r.cur[r.idx]
+		if r.wIdx < len(r.cur.waits) && r.cur.waits[r.wIdx].pos <= r.idx {
+			w := r.cur.waits[r.wIdx].cycles
+			r.wIdx++
+			return osim.ActionBlock, w
+		}
+		if r.idx < len(r.cur.evs) {
+			*ev = r.cur.evs[r.idx]
 			r.idx++
-			if it.wait > 0 {
-				return osim.ActionBlock, it.wait
-			}
-			*ev = it.ev
 			return osim.ActionRun, 0
 		}
-		chunk, ok := <-r.ch
-		if !ok {
+		if !r.nextChunk() {
 			return osim.ActionDone, 0
 		}
-		r.cur, r.idx = chunk, 0
 	}
+}
+
+// nextChunk blocks for the producer's next chunk; false means end of trace.
+func (r *lookaheadRunner) nextChunk() bool {
+	chunk, ok := <-r.ch
+	if !ok {
+		return false
+	}
+	r.cur, r.idx, r.wIdx = chunk, 0, 0
+	return true
+}
+
+// Pending implements osim.BatchRunner.
+func (r *lookaheadRunner) Pending() ([]cpu.BlockEvent, uint64) {
+	if r.ch == nil {
+		return r.inner.Pending()
+	}
+	for {
+		if r.wIdx < len(r.cur.waits) && r.cur.waits[r.wIdx].pos <= r.idx {
+			w := r.cur.waits[r.wIdx].cycles
+			r.wIdx++
+			return nil, w
+		}
+		if r.idx < len(r.cur.evs) {
+			end := len(r.cur.evs)
+			if r.wIdx < len(r.cur.waits) && r.cur.waits[r.wIdx].pos < end {
+				end = r.cur.waits[r.wIdx].pos
+			}
+			return r.cur.evs[r.idx:end], 0
+		}
+		if !r.nextChunk() {
+			return nil, 0
+		}
+	}
+}
+
+// Consume implements osim.BatchRunner.
+func (r *lookaheadRunner) Consume(n int) {
+	if r.ch == nil {
+		r.inner.Consume(n)
+		return
+	}
+	r.idx += n
 }
 
 // StartLookahead implements osim.TraceBuffered. It must be called before
@@ -285,7 +447,7 @@ func (r *lookaheadRunner) StartLookahead(pool *osim.TracePool) {
 	if r.ch != nil {
 		return
 	}
-	r.ch = make(chan []item, lookaheadDepth)
+	r.ch = make(chan trace, lookaheadDepth)
 	r.stop = make(chan struct{})
 	r.wg.Add(1)
 	go r.produce(pool)
@@ -314,21 +476,26 @@ func (r *lookaheadRunner) produce(pool *osim.TracePool) {
 		if !pool.Acquire(r.stop) {
 			return
 		}
-		chunk := make([]item, 0, lookaheadChunk)
-		for !em.done && len(chunk) < lookaheadChunk {
+		var chunk trace
+		chunk.evs = make([]cpu.BlockEvent, 0, lookaheadChunk)
+		for !em.done && len(chunk.evs)+len(chunk.waits) < lookaheadChunk {
 			r.inner.gen.Burst(&em)
-			if !em.done && len(em.items) == 0 {
+			if !em.done && len(em.evs)+len(em.waits) == 0 {
 				panic("workload: Burst made no progress")
 			}
 			// Drain after every burst: generators are entitled to see the
 			// emitter as the inline runner shows it — fully consumed
 			// (Pending() == 0) with only InstsEmitted carried forward.
-			chunk = append(chunk, em.items...)
-			em.items = em.items[:0]
-			em.head = 0
+			// Wait positions are rebased onto the chunk's event run.
+			base := len(chunk.evs)
+			for _, w := range em.waits {
+				chunk.waits = append(chunk.waits, waitMark{pos: base + w.pos, cycles: w.cycles})
+			}
+			chunk.evs = append(chunk.evs, em.evs...)
+			em.reset()
 		}
 		pool.Release()
-		if len(chunk) > 0 {
+		if len(chunk.evs)+len(chunk.waits) > 0 {
 			select {
 			case r.ch <- chunk:
 			case <-r.stop:

@@ -12,15 +12,20 @@ func TestCodeRegionPCsDistinctAndContained(t *testing.T) {
 	space := addr.NewSpace()
 	c := NewCodeRegion(space, "f", 100)
 	seen := map[uint64]bool{}
+	ids := map[int32]bool{}
 	for i := 0; i < 100; i++ {
-		pc := c.PC(i)
-		if !c.Region.Contains(pc) {
-			t.Fatalf("PC(%d)=%#x outside region %v", i, pc, c.Region)
+		b := c.PC(i)
+		if !c.Region.Contains(b.PC) {
+			t.Fatalf("PC(%d)=%#x outside region %v", i, b.PC, c.Region)
 		}
-		if seen[pc] {
-			t.Fatalf("duplicate PC %#x", pc)
+		if seen[b.PC] {
+			t.Fatalf("duplicate PC %#x", b.PC)
 		}
-		seen[pc] = true
+		if ids[b.ID] {
+			t.Fatalf("duplicate block id %d", b.ID)
+		}
+		seen[b.PC] = true
+		ids[b.ID] = true
 	}
 	if c.PC(100) != c.PC(0) {
 		t.Fatal("PC does not wrap")
@@ -35,11 +40,11 @@ func TestNextPCCoversRegion(t *testing.T) {
 	c := NewCodeRegion(space, "f", 64)
 	seen := map[uint64]bool{}
 	for i := 0; i < 4000; i++ {
-		pc := c.NextPC()
-		if !c.Region.Contains(pc) {
-			t.Fatalf("walk escaped region: %#x", pc)
+		b := c.NextPC()
+		if !c.Region.Contains(b.PC) {
+			t.Fatalf("walk escaped region: %#x", b.PC)
 		}
-		seen[pc] = true
+		seen[b.PC] = true
 	}
 	if len(seen) < 60 {
 		t.Fatalf("random walk covered only %d/64 blocks", len(seen))
@@ -49,7 +54,7 @@ func TestNextPCCoversRegion(t *testing.T) {
 func TestSeqPCCycles(t *testing.T) {
 	space := addr.NewSpace()
 	c := NewCodeRegion(space, "f", 5)
-	first := make([]uint64, 5)
+	first := make([]BlockRef, 5)
 	for i := range first {
 		first[i] = c.SeqPC()
 	}
@@ -62,27 +67,70 @@ func TestSeqPCCycles(t *testing.T) {
 
 func TestEmitterFIFO(t *testing.T) {
 	var e Emitter
-	e.EmitBlock(1, 10, 0.5)
-	e.EmitBlock(2, 20, 0.5)
+	e.EmitBlock(BlockRef{PC: 1}, 10, 0.5)
+	e.EmitBlock(BlockRef{PC: 2}, 20, 0.5)
 	e.Wait(99)
-	it, ok := e.pop()
-	if !ok || it.ev.PC != 1 {
-		t.Fatalf("pop1 = %+v %v", it, ok)
+	ev, w, ok := e.pop()
+	if !ok || w != 0 || ev.PC != 1 {
+		t.Fatalf("pop1 = %+v w=%d %v", ev, w, ok)
 	}
-	it, _ = e.pop()
-	if it.ev.PC != 2 {
-		t.Fatalf("pop2 = %+v", it)
+	ev, w, _ = e.pop()
+	if w != 0 || ev.PC != 2 {
+		t.Fatalf("pop2 = %+v w=%d", ev, w)
 	}
-	it, _ = e.pop()
-	if it.wait != 99 {
-		t.Fatalf("pop3 = %+v", it)
+	_, w, _ = e.pop()
+	if w != 99 {
+		t.Fatalf("pop3 wait = %d", w)
 	}
-	if _, ok := e.pop(); ok {
+	if _, _, ok := e.pop(); ok {
 		t.Fatal("pop on empty succeeded")
 	}
 	// Buffer must be reusable after drain.
-	e.EmitBlock(3, 5, 1)
-	if it, ok := e.pop(); !ok || it.ev.PC != 3 {
+	e.EmitBlock(BlockRef{PC: 3}, 5, 1)
+	if ev, _, ok := e.pop(); !ok || ev.PC != 3 {
+		t.Fatal("reuse after drain failed")
+	}
+}
+
+// TestEmitterBatch pins the batch view of the same stream pop delivers:
+// maximal event runs cut at wait marks, waits consumed between them.
+func TestEmitterBatch(t *testing.T) {
+	var e Emitter
+	e.Wait(7)
+	e.EmitBlock(BlockRef{PC: 1}, 10, 0.5)
+	e.EmitBlock(BlockRef{PC: 2}, 10, 0.5)
+	e.Wait(99)
+	e.Wait(100)
+	e.EmitBlock(BlockRef{PC: 3}, 10, 0.5)
+
+	evs, w, ok := e.batch()
+	if !ok || len(evs) != 0 || w != 7 {
+		t.Fatalf("batch1 = %d evs, w=%d, ok=%v; want leading wait 7", len(evs), w, ok)
+	}
+	evs, w, ok = e.batch()
+	if !ok || w != 0 || len(evs) != 2 || evs[0].PC != 1 || evs[1].PC != 2 {
+		t.Fatalf("batch2 = %+v w=%d ok=%v", evs, w, ok)
+	}
+	e.head += len(evs) // consume the run
+	evs, w, _ = e.batch()
+	if len(evs) != 0 || w != 99 {
+		t.Fatalf("batch3 = %d evs, w=%d; want wait 99", len(evs), w)
+	}
+	evs, w, _ = e.batch()
+	if len(evs) != 0 || w != 100 {
+		t.Fatalf("batch4 = %d evs, w=%d; want wait 100", len(evs), w)
+	}
+	evs, w, _ = e.batch()
+	if w != 0 || len(evs) != 1 || evs[0].PC != 3 {
+		t.Fatalf("batch5 = %+v w=%d", evs, w)
+	}
+	e.head++
+	if _, _, ok := e.batch(); ok {
+		t.Fatal("batch on drained emitter succeeded")
+	}
+	// Drain resets the buffer for reuse.
+	e.EmitBlock(BlockRef{PC: 4}, 5, 1)
+	if evs, _, ok := e.batch(); !ok || len(evs) != 1 || evs[0].PC != 4 {
 		t.Fatal("reuse after drain failed")
 	}
 }
@@ -95,8 +143,8 @@ func TestRunnerDeliversBurstsInOrder(t *testing.T) {
 			return
 		}
 		n++
-		e.EmitBlock(uint64(n*100), 10, 0.5)
-		e.EmitBlock(uint64(n*100+1), 10, 0.5)
+		e.EmitBlock(BlockRef{PC: uint64(n * 100)}, 10, 0.5)
+		e.EmitBlock(BlockRef{PC: uint64(n*100 + 1)}, 10, 0.5)
 	})
 	r := NewRunner(g)
 	var got []uint64
@@ -130,9 +178,9 @@ func TestRunnerDeliversWaits(t *testing.T) {
 			return
 		}
 		first = false
-		e.EmitBlock(1, 10, 0.5)
+		e.EmitBlock(BlockRef{PC: 1}, 10, 0.5)
 		e.Wait(777)
-		e.EmitBlock(2, 10, 0.5)
+		e.EmitBlock(BlockRef{PC: 2}, 10, 0.5)
 	})
 	r := NewRunner(g)
 	var ev cpu.BlockEvent
