@@ -1,7 +1,7 @@
 # Tier-1 verification plus race/vet hygiene in one command: `make check`.
 GO ?= go
 
-.PHONY: build test race vet bench benchjson benchjson-kmeans benchjson-profiler benchjson-collect check results verify-results verify-results-store serve-smoke
+.PHONY: build test race vet bench benchjson benchjson-kmeans benchjson-profiler benchjson-collect check results verify-results verify-results-store serve-smoke fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -99,10 +99,24 @@ serve-smoke:
 	curl -sf 'http://127.0.0.1:18080/analyze/spec.gzip?intervals=60&warmup=6' >/dev/null || exit 1; \
 	curl -sf http://127.0.0.1:18080/metrics | grep -q 'fuzzyphase_analyze_cache_hits_total 1' || exit 1; \
 	curl -sf http://127.0.0.1:18080/figure/13 | grep -q 'quadrant space' || exit 1; \
+	/tmp/fuzzyphase-smoke export spec.gzip /tmp/fuzzyphase-smoke.eipv.json \
+		-format json -intervals 60 -warmup 6 || exit 1; \
+	curl -sf -X POST -H 'Content-Type: application/json' \
+		--data-binary @/tmp/fuzzyphase-smoke.eipv.json \
+		'http://127.0.0.1:18080/v1/analyze' | grep -q '"quadrant"' || exit 1; \
+	curl -sf http://127.0.0.1:18080/metrics | grep -q 'fuzzyphase_uploads_total{encoding="json"} 1' || exit 1; \
+	curl -sf http://127.0.0.1:18080/metrics | grep -q 'fuzzyphase_upload_bytes_total [1-9]' || exit 1; \
 	kill -TERM $$SERVER; \
 	wait $$SERVER; STATUS=$$?; \
 	trap - EXIT; \
 	test $$STATUS -eq 0 || { echo "serve did not drain cleanly (exit $$STATUS)"; exit 1; }; \
-	echo "serve-smoke: analyze + metrics + graceful shutdown OK"
+	echo "serve-smoke: analyze + upload + metrics + graceful shutdown OK"
+
+# Short deterministic fuzz passes over the external-profile decoders and
+# converters (the same targets CI smokes).
+fuzz-smoke:
+	$(GO) test ./internal/profilefmt/ -run '^$$' -fuzz '^FuzzDecodeBinary$$' -fuzztime 15s
+	$(GO) test ./internal/profilefmt/ -run '^$$' -fuzz '^FuzzDecodeJSON$$' -fuzztime 15s
+	$(GO) test ./internal/profilefmt/ -run '^$$' -fuzz '^FuzzConverters$$' -fuzztime 15s
 
 check: build vet test race

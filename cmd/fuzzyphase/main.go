@@ -11,14 +11,24 @@
 //	fuzzyphase sampling [budget] [flags]
 //	fuzzyphase results [dir] [flags]
 //	fuzzyphase sweep-interval | sweep-machine [flags]
+//	fuzzyphase export <workload> <file> [flags]
+//	fuzzyphase import <file> [flags]
 //	fuzzyphase serve [flags]
 //
-// Flags (after the subcommand's positional arguments):
+// Flags (after the subcommand's positional arguments). The analysis
+// options are registered from the canonical optcodec field table — the
+// same table that defines serve's query parameters, so the two surfaces
+// cannot drift:
 //
 //	-seed N        random seed (default 1)
 //	-intervals N   EIPV intervals to simulate (default 320)
+//	-warmup N      leading intervals to discard (default 10; negative = none)
 //	-machine NAME  itanium2 | pentium4 | xeon (default itanium2)
 //	-threads       build thread-separated EIPVs
+//	-interval-insts N  EIPV interval length in instructions
+//	-period N      profiler sampling period override
+//	-max-leaves N  regression-tree leaf cap (default 50)
+//	-folds N       cross-validation folds (default 10)
 //	-parallel N    worker goroutines (0 = one per CPU; output identical at any N)
 //	-profile-dir D persistent profile store (default $FUZZYPHASE_PROFILE_DIR);
 //	               collected profiles are content-addressed and reused across
@@ -50,6 +60,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/eipv"
 	"repro/internal/experiment"
+	"repro/internal/optcodec"
 	"repro/internal/profiler"
 	"repro/internal/rtree"
 	"repro/internal/workload"
@@ -77,15 +88,21 @@ commands:
   compare-bbv <workload>..     sampled EIPVs vs full BBVs (paper 3.3, deferred)
   save-profile <workload> <f>  collect a profile and archive it as JSON
   analyze-profile <f>          re-analyze an archived profile offline
+  export <workload> <f>        export a workload's EIPV profile (profilefmt)
+  import <f>                   analyze or convert an external profile
   sampling [budget]            evaluate sampling techniques (paper 7)
   results [dir]                regenerate every archived results/ artifact
   sweep-interval               EIPV interval-size sensitivity (paper 7.1)
   sweep-machine                machine-model sensitivity (paper 7.1)
   serve                        run the analysis engine as an HTTP service
 
-flags (after positional args): -seed -intervals -machine -threads -parallel
-  -profile-dir -trace-workers -cachestats -cpuprofile -memprofile -pprof
+flags (after positional args): -seed -intervals -warmup -machine -threads
+  -interval-insts -period -max-leaves -folds -parallel -profile-dir
+  -trace-workers -cachestats -cpuprofile -memprofile -pprof
 serve flags: -addr -cache-entries -timeout -grace
+export/import flags: -format json|binary, -from auto|eipv|pprof|perf,
+  -convert OUT (write OUT instead of analyzing), -cpi X (CPI for sources
+  without a cycles/instructions pair)
 
   -parallel N runs the analysis engine on N worker goroutines (0, the
   default, uses one per CPU). Output is bit-for-bit identical at any N;
@@ -117,17 +134,23 @@ func main() {
 		args = args[1:]
 	}
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
-	seed := fs.Uint64("seed", 1, "random seed")
-	intervals := fs.Int("intervals", 0, "EIPV intervals to simulate (0 = default)")
-	machine := fs.String("machine", "itanium2", "machine model: itanium2|pentium4|xeon")
-	threads := fs.Bool("threads", false, "thread-separated EIPVs")
-	parallel := fs.Int("parallel", 0, "worker goroutines (0 = one per CPU)")
+	// The analysis options come from the canonical optcodec table. opt is
+	// pre-seeded with the CLI's historical defaults; Bind's flags write
+	// straight into it during Parse.
+	opt := fuzzyphase.Options{
+		Seed:         1,
+		Machine:      cpu.Itanium2(),
+		TraceWorkers: envInt("FUZZYPHASE_TRACE_WORKERS"),
+	}
+	optcodec.Bind(fs, &opt)
 	cachestats := fs.Bool("cachestats", false, "print Analyze cache stats to stderr on exit")
 	profileDir := fs.String("profile-dir", os.Getenv("FUZZYPHASE_PROFILE_DIR"),
 		"persistent profile store directory (default $FUZZYPHASE_PROFILE_DIR; empty = memory-only)")
-	traceWorkers := fs.Int("trace-workers", envInt("FUZZYPHASE_TRACE_WORKERS"),
-		"lookahead trace-generation goroutines per cold collection (default $FUZZYPHASE_TRACE_WORKERS; 0 = follow -parallel, negative = inline)")
 	csv := fs.Bool("csv", false, "emit raw CSV instead of a text summary (figures 2,3,8,9,10,11)")
+	format := fs.String("format", "json", "export/import: profile encoding, json|binary")
+	from := fs.String("from", "auto", "import: source format, auto|eipv|pprof|perf")
+	convert := fs.String("convert", "", "import: write the converted profile here instead of analyzing")
+	defaultCPI := fs.Float64("cpi", 1.0, "import: CPI for rows of sources without a cycles/instructions pair")
 	addr := fs.String("addr", ":8080", "serve: listen address")
 	cacheEntries := fs.Int("cache-entries", 64, "serve: Analyze LRU cache cap in entries (0 = unbounded)")
 	reqTimeout := fs.Duration("timeout", 0, "serve: per-request deadline (0 = none)")
@@ -146,18 +169,6 @@ func main() {
 		}()
 	}
 
-	mcfg, err := cpu.ConfigByName(*machine)
-	if err != nil {
-		fatal(err)
-	}
-	opt := fuzzyphase.Options{
-		Seed:            *seed,
-		Intervals:       *intervals,
-		Machine:         mcfg,
-		ThreadSeparated: *threads,
-		Parallelism:     *parallel,
-		TraceWorkers:    *traceWorkers,
-	}
 	if *profileDir != "" {
 		if err := fuzzyphase.SetProfileDir(*profileDir); err != nil {
 			fatal(err)
@@ -245,9 +256,9 @@ func main() {
 			usage()
 		}
 		col, err := profiler.CollectByName(pos[0], profiler.CollectOptions{
-			Machine:   mcfg,
-			Seed:      *seed,
-			Intervals: intervalsOrDefault(*intervals),
+			Machine:   opt.Machine,
+			Seed:      opt.Seed,
+			Intervals: intervalsOrDefault(opt.Intervals),
 		})
 		if err != nil {
 			fatal(err)
@@ -279,13 +290,29 @@ func main() {
 		}
 		set := eipv.Build(prof, workload.IntervalInsts).SkipWarmup(10)
 		mtx := rtree.IndexDataset(experiment.Dataset(set))
-		cv, err := mtx.CrossValidate(rtree.DefaultOptions(), 10, *seed)
+		cv, err := mtx.CrossValidate(rtree.DefaultOptions(), 10, opt.Seed)
 		if err != nil {
 			fatal(err)
 		}
 		q := fuzzyphase.Classify(set.CPIVariance(), cv.REOpt)
 		fmt.Printf("%s (offline): %d EIPVs, CPI variance %.4f, RE_kopt %.3f at k=%d -> %s\n",
 			prof.Workload, len(set.Vectors), set.CPIVariance(), cv.REOpt, cv.KOpt, q)
+
+	case "export":
+		if len(pos) != 2 {
+			usage()
+		}
+		if err := runExport(pos[0], pos[1], *format, opt); err != nil {
+			fatal(err)
+		}
+
+	case "import":
+		if len(pos) != 1 {
+			usage()
+		}
+		if err := runImport(pos[0], *from, *convert, *format, *defaultCPI, opt); err != nil {
+			fatal(err)
+		}
 
 	case "compare-bbv":
 		names := pos

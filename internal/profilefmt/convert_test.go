@@ -1,0 +1,166 @@
+package profilefmt
+
+import (
+	"bytes"
+	"compress/gzip"
+	"math"
+	"strings"
+	"testing"
+)
+
+// pb helpers: hand-encode just enough protobuf to build a pprof profile.
+func pbVarint(b []byte, v uint64) []byte {
+	for v >= 0x80 {
+		b = append(b, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(b, byte(v))
+}
+
+func pbField(b []byte, field, wire int, payload []byte) []byte {
+	b = pbVarint(b, uint64(field)<<3|uint64(wire))
+	if wire == 2 {
+		b = pbVarint(b, uint64(len(payload)))
+	}
+	return append(b, payload...)
+}
+
+func pbMsg(fields ...[]byte) []byte { return bytes.Join(fields, nil) }
+
+// testPprof builds a two-sample-type (cycles, instructions) profile with
+// two samples over two locations.
+func testPprof() []byte {
+	strTable := []string{"", "cycles", "instructions"}
+	valueType := func(typeIdx int) []byte {
+		return pbField(nil, valueTypeFieldType, 0, pbVarint(nil, uint64(typeIdx)))
+	}
+	location := func(id, addr uint64) []byte {
+		m := pbField(nil, locationFieldID, 0, pbVarint(nil, id))
+		return append(m, pbField(nil, locationFieldAddress, 0, pbVarint(nil, addr))...)
+	}
+	sample := func(locs []uint64, vals []int64) []byte {
+		var packedLocs, packedVals []byte
+		for _, l := range locs {
+			packedLocs = pbVarint(packedLocs, l)
+		}
+		for _, v := range vals {
+			packedVals = pbVarint(packedVals, uint64(v))
+		}
+		m := pbField(nil, sampleFieldLocationID, 2, packedLocs)
+		return append(m, pbField(nil, sampleFieldValue, 2, packedVals)...)
+	}
+
+	var p []byte
+	p = pbField(p, pprofFieldSampleType, 2, valueType(1)) // cycles
+	p = pbField(p, pprofFieldSampleType, 2, valueType(2)) // instructions
+	p = pbField(p, pprofFieldSample, 2, sample([]uint64{1, 2}, []int64{300, 200}))
+	p = pbField(p, pprofFieldSample, 2, sample([]uint64{2}, []int64{120, 100}))
+	p = pbField(p, pprofFieldLocation, 2, location(1, 0x401000))
+	p = pbField(p, pprofFieldLocation, 2, location(2, 0x402000))
+	for _, s := range strTable {
+		p = pbField(p, pprofFieldStringTable, 2, []byte(s))
+	}
+	return pbMsg(p)
+}
+
+func TestFromPprof(t *testing.T) {
+	raw := testPprof()
+	p, err := FromPprof(bytes.NewReader(raw), Limits{}, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(p.Rows))
+	}
+	// Sample 1: cycles 300, instructions 200 -> CPI 1.5, weight 200 on
+	// both frame addresses.
+	r0 := p.Rows[0]
+	if r0.CPI != 1.5 || len(r0.EIPs) != 2 || r0.EIPs[0] != 0x401000 || r0.Counts[0] != 200 {
+		t.Fatalf("row 0 = %+v", r0)
+	}
+	// Sample 2: 120/100 -> 1.2.
+	if p.Rows[1].CPI != 1.2 || len(p.Rows[1].EIPs) != 1 || p.Rows[1].EIPs[0] != 0x402000 {
+		t.Fatalf("row 1 = %+v", p.Rows[1])
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Gzipped input decodes identically.
+	var zbuf bytes.Buffer
+	zw := gzip.NewWriter(&zbuf)
+	zw.Write(raw)
+	zw.Close()
+	pz, err := FromPprof(bytes.NewReader(zbuf.Bytes()), Limits{}, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertProfilesEqual(t, p, pz)
+
+	// Damage must surface as ErrCorrupt/ErrInvalid, never a panic.
+	if _, err := FromPprof(bytes.NewReader(raw[:len(raw)/2]), Limits{}, 1.0); err == nil {
+		t.Fatal("truncated pprof decoded")
+	}
+	if _, err := FromPprof(strings.NewReader(""), Limits{}, 1.0); err == nil {
+		t.Fatal("empty pprof decoded")
+	}
+}
+
+func TestFromPerfScript(t *testing.T) {
+	const script = `# captured on: Thu Aug  7 2026
+prog  1234 100.000100:      60000 instructions:u:      401000 main (/bin/prog)
+prog  1234 100.000200:      90000 cycles:u:            401000 main (/bin/prog)
+prog  1234 100.000300:      60000 instructions:u:      402000 helper (/bin/prog)
+prog  1234 100.000400:      30000 cycles:u:            402000 helper (/bin/prog)
+prog  1234 100.000500:      50000 instructions:u:      401000 main (/bin/prog)
+garbage line that should be skipped
+prog  1234 100.000600:      70000 cycles:u:            401000 main (/bin/prog)
+`
+	p, err := FromPerfScript(strings.NewReader(script), Limits{}, 100_000, 9.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Instructions stream cuts at 60000+60000 = 120000 >= 100000 with
+	// 90000 cycles accrued by then (CPI 0.75); the tail row holds 50000
+	// instructions against the remaining 30000+70000 cycles (CPI 2.0).
+	if len(p.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2: %+v", len(p.Rows), p.Rows)
+	}
+	if p.Rows[0].CPI != 0.75 {
+		t.Fatalf("row 0 CPI = %v, want 0.75", p.Rows[0].CPI)
+	}
+	if p.Rows[1].CPI != 2.0 {
+		t.Fatalf("row 1 CPI = %v, want 2.0", p.Rows[1].CPI)
+	}
+	if p.Rows[0].EIPs[0] != 0x401000 || p.Rows[0].Counts[0] != 60000 {
+		t.Fatalf("row 0 histogram = %+v", p.Rows[0])
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Cycles-only stream: samples drive the cut, CPI falls back.
+	const cyclesOnly = `prog 1 1.0: 80000 cycles: 401000 main
+prog 1 1.1: 80000 cycles: 402000 main
+`
+	pc, err := FromPerfScript(strings.NewReader(cyclesOnly), Limits{}, 100_000, 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range pc.Rows {
+		if r.CPI != 2.5 {
+			t.Fatalf("cycles-only CPI = %v, want default 2.5", r.CPI)
+		}
+	}
+
+	if _, err := FromPerfScript(strings.NewReader("no samples here\n"), Limits{}, 0, 1); err == nil {
+		t.Fatal("sample-free input converted")
+	}
+}
+
+func TestHistRowClamps(t *testing.T) {
+	r := histRow(map[uint64]int64{5: math.MaxInt64, 7: 0}, 1)
+	if r.Counts[0] != math.MaxInt32 || r.Counts[1] != 1 {
+		t.Fatalf("clamped counts = %v", r.Counts)
+	}
+}

@@ -1,0 +1,92 @@
+package profilefmt
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// fuzzLimits keeps fuzz-found inputs cheap: small enough that a hostile
+// declared length can't make an iteration slow, large enough to accept
+// the seed corpus.
+var fuzzLimits = Limits{
+	MaxBytes:       1 << 16,
+	MaxRows:        1 << 10,
+	MaxRowFeatures: 1 << 8,
+	MaxFeatures:    1 << 12,
+}
+
+// FuzzDecodeBinary: the binary decoder must never panic, and anything it
+// accepts must survive a bit-exact re-encode/re-decode round trip.
+func FuzzDecodeBinary(f *testing.F) {
+	f.Add(EncodeBinary(sample()))
+	f.Add(EncodeBinary(&Profile{Name: "one", IntervalInsts: 1,
+		Rows: []Row{{CPI: 1, EIPs: []uint64{0, math.MaxUint64}, Counts: []int64{1, math.MaxInt32}}}}))
+	f.Add([]byte(binaryMagic))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := DecodeBinaryBytes(data, fuzzLimits)
+		if err != nil {
+			return
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("decoder accepted an invalid profile: %v", err)
+		}
+		enc := EncodeBinary(p)
+		p2, err := DecodeBinaryBytes(enc, fuzzLimits)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded profile failed: %v", err)
+		}
+		if !bytes.Equal(enc, EncodeBinary(p2)) {
+			t.Fatal("binary round trip is not a fixed point")
+		}
+	})
+}
+
+// FuzzDecodeJSON: same contract for the JSON decoder, cross-checked
+// against the binary encoding (one profile, two encodings, one meaning).
+func FuzzDecodeJSON(f *testing.F) {
+	var buf bytes.Buffer
+	if err := EncodeJSON(&buf, sample()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(`{"magic":"fuzzyphase-eipv","version":1,"interval_insts":5,"rows":[{"cpi":1,"eips":[9],"counts":[2]}]}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`[`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := DecodeJSON(bytes.NewReader(data), fuzzLimits)
+		if err != nil {
+			return
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("decoder accepted an invalid profile: %v", err)
+		}
+		bin := EncodeBinary(p)
+		p2, err := DecodeBinaryBytes(bin, fuzzLimits)
+		if err != nil {
+			t.Fatalf("binary cross-encode failed: %v", err)
+		}
+		assertProfilesEqual(t, p, p2)
+	})
+}
+
+// FuzzConverters: the foreign-format adapters must never panic on
+// arbitrary bytes; whatever they produce must be a valid profile.
+func FuzzConverters(f *testing.F) {
+	f.Add(testPprof())
+	f.Add([]byte("prog 1 1.0: 100 instructions: 401000 main\n"))
+	f.Add([]byte{0x1f, 0x8b, 0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if p, err := FromPprof(bytes.NewReader(data), fuzzLimits, 1); err == nil {
+			if err := p.Validate(); err != nil {
+				t.Fatalf("FromPprof produced an invalid profile: %v", err)
+			}
+		}
+		if p, err := FromPerfScript(bytes.NewReader(data), fuzzLimits, 100, 1); err == nil {
+			if err := p.Validate(); err != nil {
+				t.Fatalf("FromPerfScript produced an invalid profile: %v", err)
+			}
+		}
+	})
+}

@@ -1,0 +1,300 @@
+// Package profilefmt defines the external-profile wire format: the
+// ingestion boundary that lets any trace — not just the compiled-in
+// synthetic workloads — flow into the analysis machinery. A profile
+// carries exactly what the workload-agnostic back half of the pipeline
+// needs, the paper's `(interval EIPV histogram, CPI)` rows plus metadata,
+// in two interchangeable encodings:
+//
+//   - JSON (json.go): a small envelope with magic and version followed by
+//     the rows, for hand-authoring, inspection and tooling;
+//   - binary (binary.go): magic "FZEV" + uvarint version + delta-varint
+//     rows + CRC32-Castagnoli footer, the dense form for scale (the same
+//     codec idioms as the profile store's resultcodec).
+//
+// Both decoders are streaming and enforce hard structural limits
+// (Limits): a hostile or corrupt upload is rejected with a typed error
+// before any large allocation, never by exhausting memory. Decoded
+// profiles index straight into the dense analysis kernels — Index builds
+// the rtree/kmeans matrices without materializing any intermediate
+// map[uint64]-keyed histograms — and the indexed form is bit-identical to
+// what the native pipeline builds from the same vectors, so an uploaded
+// profile's RE curve and quadrant reproduce the native analysis exactly.
+package profilefmt
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"slices"
+	"sort"
+
+	"repro/internal/eipv"
+	"repro/internal/kmeans"
+	"repro/internal/rtree"
+)
+
+// Version is the current wire-format version, shared by both encodings.
+// Bump it on ANY row or metadata layout change so foreign profiles are
+// rejected (ErrUnsupportedVersion) instead of misdecoded.
+const Version = 1
+
+// Typed decode errors. All four unwrap from every decoder failure, so
+// callers can map them to transport errors (HTTP 4xx classes) without
+// string matching.
+var (
+	// ErrCorrupt marks structural damage: bad magic, checksum mismatch,
+	// truncation, or malformed framing.
+	ErrCorrupt = errors.New("profilefmt: corrupt profile")
+	// ErrUnsupportedVersion marks a profile written by a different format
+	// version.
+	ErrUnsupportedVersion = errors.New("profilefmt: unsupported profile version")
+	// ErrInvalid marks a well-formed profile whose contents violate the
+	// semantic contract (non-finite CPI, unsorted EIPs, zero rows, ...).
+	ErrInvalid = errors.New("profilefmt: invalid profile")
+	// ErrTooLarge marks a profile that exceeds a hard decode limit.
+	ErrTooLarge = errors.New("profilefmt: profile exceeds limits")
+)
+
+// Row is one analysis observation: the EIPV histogram of one execution
+// interval and that interval's average CPI. The histogram is stored as
+// parallel slices — EIPs strictly ascending, counts positive — not a map,
+// so a decoded profile indexes into the dense kernels without any
+// intermediate map materialization.
+type Row struct {
+	// CPI is the interval's average cycles-per-instruction. Must be
+	// finite and non-negative.
+	CPI float64
+	// EIPs are the distinct sampled instruction pointers of the interval,
+	// strictly ascending.
+	EIPs []uint64
+	// Counts are the per-EIP sample counts, parallel to EIPs, each in
+	// [1, MaxInt32].
+	Counts []int64
+}
+
+// Profile is a complete external EIPV profile.
+type Profile struct {
+	// Name labels the traced workload (free-form, informative).
+	Name string
+	// Machine labels the machine the trace came from (free-form).
+	Machine string
+	// IntervalInsts is the interval length in retired instructions — the
+	// period each row aggregates. Must be positive.
+	IntervalInsts uint64
+	// Threads is the number of threads the trace observed (metadata;
+	// 0 means unknown).
+	Threads int
+	// Rows are the observations, in execution order.
+	Rows []Row
+}
+
+// Limits bounds what a decoder will accept. The zero value of any field
+// means that field's DefaultLimits entry; decoding enforces every bound
+// before the corresponding allocation, so a hostile declared length costs
+// nothing.
+type Limits struct {
+	// MaxBytes bounds the encoded input size.
+	MaxBytes int64
+	// MaxRows bounds len(Profile.Rows).
+	MaxRows int
+	// MaxRowFeatures bounds the features of a single row.
+	MaxRowFeatures int
+	// MaxFeatures bounds the total nonzero entries across all rows (the
+	// matrix NNZ, which dominates decoded memory).
+	MaxFeatures int
+}
+
+// DefaultLimits are the bounds used when a Limits field is zero: generous
+// for real traces (a full built-in collection is ~3 orders of magnitude
+// below them), hard against abuse.
+var DefaultLimits = Limits{
+	MaxBytes:       64 << 20, // 64 MiB encoded
+	MaxRows:        1 << 20,
+	MaxRowFeatures: 1 << 16,
+	MaxFeatures:    16 << 20, // total NNZ
+}
+
+// withDefaults fills zero fields from DefaultLimits.
+func (l Limits) withDefaults() Limits {
+	if l.MaxBytes == 0 {
+		l.MaxBytes = DefaultLimits.MaxBytes
+	}
+	if l.MaxRows == 0 {
+		l.MaxRows = DefaultLimits.MaxRows
+	}
+	if l.MaxRowFeatures == 0 {
+		l.MaxRowFeatures = DefaultLimits.MaxRowFeatures
+	}
+	if l.MaxFeatures == 0 {
+		l.MaxFeatures = DefaultLimits.MaxFeatures
+	}
+	return l
+}
+
+// Validate checks the semantic contract every decoder guarantees and
+// every encoder requires: positive interval period, at least one row,
+// finite non-negative CPIs, strictly ascending EIPs with positive
+// int32-range counts. It returns an ErrInvalid-wrapped error naming the
+// first violation.
+func (p *Profile) Validate() error {
+	if p.IntervalInsts == 0 {
+		return fmt.Errorf("%w: zero interval-instruction period", ErrInvalid)
+	}
+	if len(p.Rows) == 0 {
+		return fmt.Errorf("%w: no rows", ErrInvalid)
+	}
+	if p.Threads < 0 {
+		return fmt.Errorf("%w: negative thread count %d", ErrInvalid, p.Threads)
+	}
+	for i := range p.Rows {
+		if err := p.Rows[i].validate(); err != nil {
+			return fmt.Errorf("row %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+func (r *Row) validate() error {
+	if math.IsNaN(r.CPI) || math.IsInf(r.CPI, 0) || r.CPI < 0 {
+		return fmt.Errorf("%w: CPI %v is not finite and non-negative", ErrInvalid, r.CPI)
+	}
+	if len(r.EIPs) != len(r.Counts) {
+		return fmt.Errorf("%w: %d EIPs but %d counts", ErrInvalid, len(r.EIPs), len(r.Counts))
+	}
+	for j, c := range r.Counts {
+		if c < 1 || c > math.MaxInt32 {
+			return fmt.Errorf("%w: count %d for EIP %#x outside [1, %d]", ErrInvalid, c, r.EIPs[j], math.MaxInt32)
+		}
+		if j > 0 && r.EIPs[j] <= r.EIPs[j-1] {
+			return fmt.Errorf("%w: EIPs not strictly ascending at index %d (%#x after %#x)",
+				ErrInvalid, j, r.EIPs[j], r.EIPs[j-1])
+		}
+	}
+	return nil
+}
+
+// checkLimits enforces the structural bounds on an already-validated
+// profile (used by encoders and by FromSet-produced profiles headed for
+// the wire; decoders enforce the same bounds incrementally mid-stream).
+func (p *Profile) checkLimits(l Limits) error {
+	l = l.withDefaults()
+	if len(p.Rows) > l.MaxRows {
+		return fmt.Errorf("%w: %d rows > %d", ErrTooLarge, len(p.Rows), l.MaxRows)
+	}
+	nnz := 0
+	for i := range p.Rows {
+		if len(p.Rows[i].EIPs) > l.MaxRowFeatures {
+			return fmt.Errorf("%w: row %d has %d features > %d", ErrTooLarge, i, len(p.Rows[i].EIPs), l.MaxRowFeatures)
+		}
+		nnz += len(p.Rows[i].EIPs)
+		if nnz > l.MaxFeatures {
+			return fmt.Errorf("%w: more than %d total features", ErrTooLarge, l.MaxFeatures)
+		}
+	}
+	return nil
+}
+
+// NNZ returns the total nonzero histogram entries across all rows.
+func (p *Profile) NNZ() int {
+	n := 0
+	for i := range p.Rows {
+		n += len(p.Rows[i].EIPs)
+	}
+	return n
+}
+
+// CPIs returns the per-row CPI series.
+func (p *Profile) CPIs() []float64 {
+	out := make([]float64, len(p.Rows))
+	for i := range p.Rows {
+		out[i] = p.Rows[i].CPI
+	}
+	return out
+}
+
+// Index builds the dense analysis matrices from the profile: the sparse
+// uint64 EIP space is remapped to ascending dense feature IDs and the
+// rows become one shared row-major CSR, exactly the form
+// rtree.IndexDataset produces from the native pipeline's map vectors —
+// bit-identical inputs yield bit-identical matrices, which is what makes
+// an uploaded profile's analysis reproduce the native one byte for byte.
+// No intermediate maps are built: the feature table comes from one
+// sort+compact over the concatenated row EIPs and each row is remapped by
+// binary search into it.
+//
+// The profile must be valid (Validate); Index re-checks only what it
+// must to stay panic-free.
+func (p *Profile) Index() (*rtree.Matrix, *kmeans.Matrix, error) {
+	nnz := p.NNZ()
+
+	// Feature table: all EIPs, sorted ascending, deduplicated. Row EIPs
+	// are already ascending within each row, but a global merge is still
+	// needed; one O(nnz log nnz) sort keeps it simple and allocation-tight.
+	eips := make([]uint64, 0, nnz)
+	for i := range p.Rows {
+		eips = append(eips, p.Rows[i].EIPs...)
+	}
+	slices.Sort(eips)
+	eips = slices.Compact(eips)
+
+	ys := make([]float64, len(p.Rows))
+	rowStart := make([]int32, len(p.Rows)+1)
+	rowFeat := make([]int32, 0, nnz)
+	rowCnt := make([]int32, 0, nnz)
+	for i := range p.Rows {
+		r := &p.Rows[i]
+		ys[i] = r.CPI
+		for j, e := range r.EIPs {
+			f, ok := slices.BinarySearch(eips, e)
+			if !ok {
+				return nil, nil, fmt.Errorf("%w: EIP %#x missing from feature table", ErrInvalid, e)
+			}
+			c := r.Counts[j]
+			if c < 1 || c > math.MaxInt32 {
+				return nil, nil, fmt.Errorf("%w: count %d outside int32 range", ErrInvalid, c)
+			}
+			rowFeat = append(rowFeat, int32(f))
+			rowCnt = append(rowCnt, int32(c))
+		}
+		// Ascending EIPs within the row map to ascending feature IDs —
+		// the CSR invariant both kernels require.
+		rowStart[i+1] = int32(len(rowFeat))
+	}
+
+	mtx := rtree.FromCSR(eips, ys, rowStart, rowFeat, rowCnt)
+	km := kmeans.FromCSR(eips, rowStart, rowFeat, rowCnt)
+	return mtx, km, nil
+}
+
+// FromSet exports a native EIPV set as an external profile: each steady-
+// state vector becomes one row with its histogram flattened to the sorted
+// parallel-slice form. The resulting profile analyzes bit-identically to
+// the set it came from (the round-trip the serve tests lock).
+func FromSet(set *eipv.Set, machine string, intervalInsts uint64) *Profile {
+	p := &Profile{
+		Name:          set.Workload,
+		Machine:       machine,
+		IntervalInsts: intervalInsts,
+	}
+	threads := map[int]bool{}
+	p.Rows = make([]Row, len(set.Vectors))
+	for i := range set.Vectors {
+		v := &set.Vectors[i]
+		threads[v.Thread] = true
+		r := Row{
+			CPI:    v.CPI,
+			EIPs:   make([]uint64, 0, len(v.Counts)),
+			Counts: make([]int64, 0, len(v.Counts)),
+		}
+		for e := range v.Counts {
+			r.EIPs = append(r.EIPs, e)
+		}
+		sort.Slice(r.EIPs, func(a, b int) bool { return r.EIPs[a] < r.EIPs[b] })
+		for _, e := range r.EIPs {
+			r.Counts = append(r.Counts, int64(v.Counts[e]))
+		}
+		p.Rows[i] = r
+	}
+	p.Threads = len(threads)
+	return p
+}

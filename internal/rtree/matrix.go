@@ -145,6 +145,28 @@ func IndexDataset(d Dataset) *Matrix {
 	return m
 }
 
+// FromCSR builds a Matrix directly from a row-major CSR triplet plus its
+// dense-ID -> EIP table — the ingestion bridge that lets externally
+// supplied profiles (internal/profilefmt) enter the tree kernel without a
+// map-based Dataset ever existing. The contract mirrors what IndexDataset
+// produces: eips ascending and unique, each row's features in ascending
+// dense-ID order with positive counts, rowStart[0] == 0 and
+// rowStart[len(ys)] == len(rowFeat). Given the CSR form IndexDataset
+// would have built for the same observations, FromCSR yields a
+// bit-identical Matrix (the round-trip tests lock this). The Matrix takes
+// ownership of the slices; callers must not mutate them afterwards.
+func FromCSR(eips []uint64, ys []float64, rowStart, rowFeat, rowCnt []int32) *Matrix {
+	if len(rowStart) != len(ys)+1 {
+		panic(fmt.Sprintf("rtree: rowStart length %d for %d rows", len(rowStart), len(ys)))
+	}
+	if len(rowFeat) != len(rowCnt) || (len(rowStart) > 0 && int(rowStart[len(ys)]) != len(rowFeat)) {
+		panic("rtree: inconsistent CSR triplet")
+	}
+	m := &Matrix{eips: eips, ys: ys, rowStart: rowStart, rowFeat: rowFeat, rowCnt: rowCnt}
+	m.buildColumns()
+	return m
+}
+
 // buildColumns derives the presorted column-major CSR from the row-major
 // form: counting sort by feature, then one stable (count, row) sort per
 // feature via packed keys.

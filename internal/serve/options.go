@@ -3,94 +3,29 @@ package serve
 import (
 	"net/http"
 	"net/url"
-	"strconv"
 	"time"
 
-	"repro/internal/cpu"
 	"repro/internal/experiment"
+	"repro/internal/optcodec"
 )
 
 // optionsFromQuery overlays query parameters onto the configured base
-// Options. Every parameter is optional; an unparseable or unknown value is
-// a 400, and unrecognized parameter names are rejected too, so a typo
-// (?intervalls=60) cannot silently run the full-length default pipeline.
+// Options via the canonical optcodec field table — the same table that
+// registers the CLI flags, so the HTTP parameter surface can never drift
+// from the command line. Every parameter is optional; an unparseable or
+// unknown value is a 400, and unrecognized parameter names are rejected
+// too, so a typo (?intervalls=60) cannot silently run the full-length
+// default pipeline.
 //
-// Supported parameters mirror the CLI flags:
+// Supported parameters are exactly optcodec.QueryNames() plus
 //
-//	intervals, warmup, seed, interval-insts, period, max-leaves, folds,
-//	parallelism, trace-workers (ints), threads (bool),
-//	machine (itanium2|pentium4|xeon),
 //	timeout (Go duration; handled by requestTimeout, accepted here).
 func optionsFromQuery(base experiment.Options, q url.Values) (experiment.Options, error) {
-	opt := base
-	for name, vals := range q {
-		if len(vals) != 1 {
-			return opt, badRequest("parameter %q given %d times", name, len(vals))
-		}
-		val := vals[0]
-		var err error
-		switch name {
-		case "intervals":
-			opt.Intervals, err = parseInt(name, val)
-		case "warmup":
-			opt.Warmup, err = parseInt(name, val)
-		case "seed":
-			opt.Seed, err = parseUint(name, val)
-		case "interval-insts":
-			opt.IntervalInsts, err = parseUint(name, val)
-		case "period":
-			opt.PeriodOverride, err = parseUint(name, val)
-		case "max-leaves":
-			opt.MaxLeaves, err = parseInt(name, val)
-		case "folds":
-			opt.Folds, err = parseInt(name, val)
-		case "parallelism":
-			opt.Parallelism, err = parseInt(name, val)
-		case "trace-workers":
-			opt.TraceWorkers, err = parseInt(name, val)
-		case "threads":
-			opt.ThreadSeparated, err = strconv.ParseBool(val)
-			if err != nil {
-				err = badRequest("parameter threads: %q is not a bool", val)
-			}
-		case "machine":
-			switch val {
-			case "itanium2":
-				opt.Machine = cpu.Itanium2()
-			case "pentium4":
-				opt.Machine = cpu.PentiumIV()
-			case "xeon":
-				opt.Machine = cpu.Xeon()
-			default:
-				err = badRequest("unknown machine %q (itanium2, pentium4, xeon)", val)
-			}
-		case "timeout":
-			// Validated and applied by requestTimeout; accepted here so the
-			// unknown-parameter check below doesn't reject it.
-		default:
-			err = badRequest("unknown parameter %q", name)
-		}
-		if err != nil {
-			return opt, err
-		}
+	opt, err := optcodec.FromQuery(base, q, map[string]bool{"timeout": true})
+	if err != nil {
+		return opt, badRequest("%s", err)
 	}
 	return opt, nil
-}
-
-func parseInt(name, val string) (int, error) {
-	n, err := strconv.Atoi(val)
-	if err != nil {
-		return 0, badRequest("parameter %s: %q is not an integer", name, val)
-	}
-	return n, nil
-}
-
-func parseUint(name, val string) (uint64, error) {
-	n, err := strconv.ParseUint(val, 10, 64)
-	if err != nil {
-		return 0, badRequest("parameter %s: %q is not a non-negative integer", name, val)
-	}
-	return n, nil
 }
 
 // requestTimeout resolves the effective deadline for a request: the

@@ -1,7 +1,17 @@
 // Package serve turns the analysis engine into a long-running HTTP
 // service: the same pipelines the CLI drives — per-workload analysis,
 // Table 2, the figures, the quadrant classification — behind GET
-// endpoints, backed by the process-wide memoized Analyze cache.
+// endpoints, backed by the process-wide memoized Analyze cache, plus
+// external-profile ingestion: POST /v1/analyze and POST /v1/quadrant
+// accept a profilefmt EIPV profile (JSON or binary, negotiated by
+// Content-Type) and run the workload-agnostic back half of the pipeline
+// on it.
+//
+// Every endpoint is mounted twice: under the versioned /v1/ prefix (the
+// public surface) and at its original unprefixed path (a deprecated
+// alias kept for existing clients). Errors are rendered as the JSON
+// envelope {"error":{"code","message"}} when the client accepts JSON
+// (or the endpoint itself is JSON-native), plain text otherwise.
 //
 // Design invariants:
 //
@@ -26,6 +36,7 @@ package serve
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"expvar"
 	"fmt"
@@ -80,6 +91,10 @@ type Server struct {
 	errors   func(endpoint string) *metrics.Counter
 	inFlight atomic.Int64
 
+	uploads       func(encoding string) *metrics.Counter
+	uploadBytes   *metrics.Counter
+	uploadRejects *metrics.Counter
+
 	workloads map[string]bool
 }
 
@@ -119,6 +134,12 @@ func New(cfg Config) *Server {
 	s.reg.Gauge("fuzzyphase_requests_in_flight",
 		"Requests currently being served.",
 		func() float64 { return float64(s.inFlight.Load()) })
+	s.uploads = s.reg.LabeledCounter("fuzzyphase_uploads_total",
+		"External profiles accepted by POST /v1/analyze and /v1/quadrant, by wire encoding.", "encoding")
+	s.uploadBytes = s.reg.Counter("fuzzyphase_upload_bytes_total",
+		"Encoded bytes consumed from accepted profile uploads.")
+	s.uploadRejects = s.reg.Counter("fuzzyphase_upload_rejects_total",
+		"Profile uploads rejected before analysis (corrupt, oversized, or unsupported media type).")
 
 	cache := func(f func(experiment.CacheStats) float64) func() float64 {
 		return func() float64 { return f(experiment.AnalysisCacheStats()) }
@@ -204,15 +225,28 @@ func (s *Server) routes() {
 	s.handle("figure", "/figure/", s.handleFigure)
 	s.handle("quadrants", "/quadrants", s.handleQuadrants)
 	s.handle("cache", "/cache/stats", s.handleCacheStats)
-	s.mux.HandleFunc("/cache/invalidate", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			http.Error(w, "POST only", http.StatusMethodNotAllowed)
-			return
-		}
-		experiment.InvalidateAnalysisCache()
-		s.cfg.Logf("cache invalidated by %s", r.RemoteAddr)
-		fmt.Fprintln(w, "invalidated")
-	})
+	s.route(routeCfg{name: "cache", methods: []string{http.MethodPost}},
+		"/cache/invalidate", func(_ context.Context, r *http.Request, buf *bytes.Buffer) error {
+			experiment.InvalidateAnalysisCache()
+			s.cfg.Logf("cache invalidated by %s", r.RemoteAddr)
+			fmt.Fprintln(buf, "invalidated")
+			return nil
+		})
+
+	// External-profile ingestion (JSON-native: responses and errors are
+	// JSON regardless of Accept). The exact "/analyze" pattern coexists
+	// with the "/analyze/" prefix above: POST /analyze uploads a profile,
+	// GET /analyze/{workload} analyzes a built-in one.
+	s.route(routeCfg{name: "upload-analyze", methods: []string{http.MethodPost}, json: true},
+		"/analyze", s.handleUploadAnalyze)
+	s.route(routeCfg{name: "upload-quadrant", methods: []string{http.MethodPost}, json: true},
+		"/quadrant", s.handleUploadQuadrant)
+
+	// The versioned public surface: /v1/<path> is <path>. Mounting the mux
+	// under itself behind a prefix strip aliases every endpoint — including
+	// /metrics and /debug — in one place, so a new route can never forget
+	// its /v1 form.
+	s.mux.Handle("/v1/", http.StripPrefix("/v1", s.mux))
 }
 
 // Handler returns the root handler (exported for tests and embedding).
@@ -238,15 +272,52 @@ func notFound(format string, args ...any) error {
 // returns an error (which discards buf).
 type handler func(ctx context.Context, r *http.Request, buf *bytes.Buffer) error
 
-// handle wraps a handler with method filtering, request accounting, the
-// per-request timeout, buffered rendering, and error classification.
+// routeCfg describes one endpoint's transport behavior.
+type routeCfg struct {
+	name string
+	// methods lists the allowed HTTP methods (nil = GET and HEAD). Other
+	// methods get a 405 carrying an Allow header.
+	methods []string
+	// json marks JSON-native endpoints: the success Content-Type is
+	// application/json and errors use the JSON envelope even when the
+	// client sent no Accept header.
+	json bool
+}
+
+// handle registers a conventional read-only endpoint (GET/HEAD, text
+// body).
 func (s *Server) handle(name, pattern string, h handler) {
+	s.route(routeCfg{name: name}, pattern, h)
+}
+
+// route wraps a handler with method filtering (405 + Allow), request
+// accounting, the per-request timeout, buffered rendering, content-type
+// negotiation for errors, and error classification.
+func (s *Server) route(cfg routeCfg, pattern string, h handler) {
+	methods := cfg.methods
+	if methods == nil {
+		methods = []string{http.MethodGet, http.MethodHead}
+	}
+	allow := strings.Join(methods, ", ")
+	contentType := "text/plain; charset=utf-8"
+	if cfg.json {
+		contentType = "application/json; charset=utf-8"
+	}
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodGet && r.Method != http.MethodHead {
-			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		allowed := false
+		for _, m := range methods {
+			if r.Method == m {
+				allowed = true
+				break
+			}
+		}
+		if !allowed {
+			w.Header().Set("Allow", allow)
+			s.writeError(w, r, cfg.json, http.StatusMethodNotAllowed,
+				fmt.Sprintf("method %s not allowed (allow: %s)", r.Method, allow))
 			return
 		}
-		s.requests(name).Inc()
+		s.requests(cfg.name).Inc()
 		s.inFlight.Add(1)
 		defer s.inFlight.Add(-1)
 		start := time.Now()
@@ -278,15 +349,56 @@ func (s *Server) handle(name, pattern string, h handler) {
 			default:
 				code = http.StatusInternalServerError
 			}
-			s.errors(name).Inc()
-			http.Error(w, err.Error(), code)
+			s.errors(cfg.name).Inc()
+			s.writeError(w, r, cfg.json, code, err.Error())
 		} else {
-			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			w.Header().Set("Content-Type", contentType)
 			_, _ = w.Write(buf.Bytes())
 		}
 		s.cfg.Logf("%s %s -> %d (%s)", r.Method, r.URL.RequestURI(), code,
 			time.Since(start).Round(time.Millisecond))
 	})
+}
+
+// errorCode maps an HTTP status to the envelope's stable machine-readable
+// code string.
+func errorCode(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return "bad_request"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusMethodNotAllowed:
+		return "method_not_allowed"
+	case http.StatusRequestEntityTooLarge:
+		return "payload_too_large"
+	case http.StatusUnsupportedMediaType:
+		return "unsupported_media_type"
+	case 499:
+		return "client_closed_request"
+	case http.StatusGatewayTimeout:
+		return "timeout"
+	default:
+		return "internal"
+	}
+}
+
+// writeError renders an error response: the JSON envelope
+// {"error":{"code","message"}} when the endpoint is JSON-native or the
+// client's Accept header names application/json, otherwise the historical
+// plain-text body.
+func (s *Server) writeError(w http.ResponseWriter, r *http.Request, jsonNative bool, status int, msg string) {
+	if jsonNative || strings.Contains(r.Header.Get("Accept"), "application/json") {
+		body, _ := json.Marshal(map[string]any{
+			"error": map[string]string{"code": errorCode(status), "message": msg},
+		})
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		w.Header().Set("X-Content-Type-Options", "nosniff")
+		w.WriteHeader(status)
+		w.Write(append(body, '\n'))
+		return
+	}
+	http.Error(w, msg, status)
 }
 
 // pathArg extracts the single path segment after prefix ("/analyze/gzip"

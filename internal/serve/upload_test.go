@@ -1,0 +1,283 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/experiment"
+	"repro/internal/profilefmt"
+	"repro/internal/workload"
+)
+
+func post(t *testing.T, url, contentType string, body []byte) (int, string, http.Header) {
+	t.Helper()
+	resp, err := http.Post(url, contentType, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b), resp.Header
+}
+
+// TestUploadRoundTrip is the ingestion byte-identity criterion: exporting
+// a built-in workload's EIPVs and uploading them through POST /v1/analyze
+// must reproduce the native analysis exactly — same RE curve, same
+// quadrant, bit for bit — in both wire encodings, and the second encoding
+// must hit the same cache entry.
+func TestUploadRoundTrip(t *testing.T) {
+	ts := newTestServer(t, Config{})
+
+	opt := experiment.Options{Intervals: 60, Warmup: 6, Seed: 1}
+	res, err := experiment.AnalyzeCtx(context.Background(), "spec.gzip", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := profilefmt.FromSet(res.Set, "itanium2", workload.IntervalInsts)
+
+	var jbuf bytes.Buffer
+	if err := profilefmt.EncodeJSON(&jbuf, p); err != nil {
+		t.Fatal(err)
+	}
+	bin := profilefmt.EncodeBinary(p)
+
+	before := experiment.AnalysisCacheStats()
+	code, jsonBody, hdr := post(t, ts.URL+"/v1/analyze?seed=1", "application/json", jbuf.Bytes())
+	if code != http.StatusOK {
+		t.Fatalf("JSON upload: %d (%s)", code, strings.TrimSpace(jsonBody))
+	}
+	if ct := hdr.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("Content-Type = %q, want application/json", ct)
+	}
+
+	var got experiment.Report
+	if err := json.Unmarshal([]byte(jsonBody), &got); err != nil {
+		t.Fatal(err)
+	}
+	want := experiment.NewReport(res)
+	// The uploaded profile is labeled by its own Name (the set's short
+	// workload name); everything else must match the native report bit for
+	// bit.
+	want.Name = p.Name
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("uploaded analysis diverges from native:\n got %+v\nwant %+v", got, want)
+	}
+
+	// Binary upload of the same profile: identical bytes, served from the
+	// same cache entry (content-hash key is encoding-independent).
+	code, binBody, _ := post(t, ts.URL+"/v1/analyze?seed=1", "application/octet-stream", bin)
+	if code != http.StatusOK {
+		t.Fatalf("binary upload: %d (%s)", code, strings.TrimSpace(binBody))
+	}
+	if binBody != jsonBody {
+		t.Fatal("binary upload body differs from JSON upload body")
+	}
+	after := experiment.AnalysisCacheStats()
+	if after.Hits <= before.Hits {
+		t.Errorf("second upload did not hit the cache: hits %d -> %d", before.Hits, after.Hits)
+	}
+
+	// The legacy unprefixed alias serves the same bytes.
+	code, legacy, _ := post(t, ts.URL+"/analyze?seed=1", "application/octet-stream", bin)
+	if code != http.StatusOK || legacy != jsonBody {
+		t.Fatalf("legacy /analyze alias: %d, match %v", code, legacy == jsonBody)
+	}
+
+	// /v1/quadrant returns the compact classification, consistent with the
+	// full report.
+	code, qBody, _ := post(t, ts.URL+"/v1/quadrant?seed=1", "application/json", jbuf.Bytes())
+	if code != http.StatusOK {
+		t.Fatalf("quadrant upload: %d (%s)", code, strings.TrimSpace(qBody))
+	}
+	var q experiment.QuadrantReport
+	if err := json.Unmarshal([]byte(qBody), &q); err != nil {
+		t.Fatal(err)
+	}
+	if q.Quadrant != want.Quadrant || q.REOpt != want.REOpt || q.KOpt != want.KOpt {
+		t.Fatalf("quadrant report inconsistent with full report: %+v vs %+v", q, want)
+	}
+
+	// Auto-detection: no Content-Type at all still decodes.
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/analyze?seed=1", bytes.NewReader(bin))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sniffed, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || string(sniffed) != jsonBody {
+		t.Fatalf("sniffed upload: %d, match %v", resp.StatusCode, string(sniffed) == jsonBody)
+	}
+}
+
+// jsonError decodes the error envelope and returns its code field.
+func jsonError(t *testing.T, body string) string {
+	t.Helper()
+	var env struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal([]byte(body), &env); err != nil {
+		t.Fatalf("error body is not the JSON envelope: %q (%v)", body, err)
+	}
+	if env.Error.Message == "" {
+		t.Fatalf("envelope has no message: %q", body)
+	}
+	return env.Error.Code
+}
+
+// TestUploadRejections: corrupt, oversized, and mistyped uploads must be
+// rejected with structured JSON 4xx envelopes — and the server keeps
+// serving afterwards.
+func TestUploadRejections(t *testing.T) {
+	ts := newTestServer(t, Config{})
+
+	p := &profilefmt.Profile{
+		Name:          "tiny",
+		IntervalInsts: 1000,
+		Rows: []profilefmt.Row{
+			{CPI: 1, EIPs: []uint64{1}, Counts: []int64{1}},
+			{CPI: 2, EIPs: []uint64{2}, Counts: []int64{1}},
+		},
+	}
+	bin := profilefmt.EncodeBinary(p)
+
+	// Garbage body.
+	code, body, _ := post(t, ts.URL+"/v1/analyze", "application/json", []byte("not json at all"))
+	if code != http.StatusBadRequest || jsonError(t, body) != "bad_request" {
+		t.Errorf("garbage: %d %q", code, body)
+	}
+	// Truncated binary.
+	code, body, _ = post(t, ts.URL+"/v1/analyze", "application/octet-stream", bin[:len(bin)-3])
+	if code != http.StatusBadRequest || jsonError(t, body) != "bad_request" {
+		t.Errorf("truncated: %d %q", code, body)
+	}
+	// Unsupported media type.
+	code, body, _ = post(t, ts.URL+"/v1/analyze", "text/csv", bin)
+	if code != http.StatusUnsupportedMediaType || jsonError(t, body) != "unsupported_media_type" {
+		t.Errorf("mistyped: %d %q", code, body)
+	}
+	// Valid but too few rows for cross-validation: a 400, not a 500.
+	code, body, _ = post(t, ts.URL+"/v1/analyze", "application/octet-stream", bin)
+	if code != http.StatusBadRequest || jsonError(t, body) != "bad_request" {
+		t.Errorf("too few rows: %d %q", code, body)
+	}
+	// Oversized: shrink the server-side byte bound, then restore it.
+	defer func(old profilefmt.Limits) { uploadLimits = old }(uploadLimits)
+	uploadLimits = profilefmt.Limits{MaxBytes: 16}
+	code, body, _ = post(t, ts.URL+"/v1/analyze", "application/octet-stream", bin)
+	if code != http.StatusRequestEntityTooLarge || jsonError(t, body) != "payload_too_large" {
+		t.Errorf("oversized: %d %q", code, body)
+	}
+	uploadLimits = profilefmt.DefaultLimits
+
+	// The server still answers normal traffic.
+	if code, _ := get(t, ts.URL+"/healthz"); code != http.StatusOK {
+		t.Fatalf("server wedged after rejections: /healthz = %d", code)
+	}
+
+	// Rejections were counted.
+	_, metricsBody := get(t, ts.URL+"/metrics")
+	if !strings.Contains(metricsBody, "fuzzyphase_upload_rejects_total") {
+		t.Error("/metrics missing fuzzyphase_upload_rejects_total")
+	}
+}
+
+// TestV1Aliases: every endpoint answers identically under /v1.
+func TestV1Aliases(t *testing.T) {
+	ts := newTestServer(t, Config{})
+
+	for _, path := range []string{"/healthz", "/workloads", "/cache/stats"} {
+		code1, body1 := get(t, ts.URL+path)
+		code2, body2 := get(t, ts.URL+"/v1"+path)
+		if code1 != code2 || body1 != body2 {
+			t.Errorf("%s: legacy (%d) and /v1 (%d) disagree", path, code1, code2)
+		}
+	}
+	code, v1Body := get(t, ts.URL+"/v1/analyze/spec.gzip?"+fastQuery)
+	if code != http.StatusOK {
+		t.Fatalf("/v1/analyze/spec.gzip: %d", code)
+	}
+	_, legacyBody := get(t, ts.URL+"/analyze/spec.gzip?"+fastQuery)
+	if v1Body != legacyBody {
+		t.Error("/v1/analyze body differs from legacy /analyze")
+	}
+}
+
+// TestMethodNotAllowedCarriesAllow: every 405 names the allowed methods.
+func TestMethodNotAllowedCarriesAllow(t *testing.T) {
+	ts := newTestServer(t, Config{})
+
+	cases := []struct {
+		method, path, allow string
+	}{
+		{http.MethodPost, "/workloads", "GET, HEAD"},
+		{http.MethodPost, "/analyze/spec.gzip", "GET, HEAD"},
+		{http.MethodGet, "/cache/invalidate", "POST"},
+		{http.MethodDelete, "/v1/analyze", "POST"},
+		{http.MethodGet, "/v1/quadrant", "POST"},
+	}
+	for _, tc := range cases {
+		req, err := http.NewRequest(tc.method, ts.URL+tc.path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("%s %s = %d, want 405", tc.method, tc.path, resp.StatusCode)
+			continue
+		}
+		if got := resp.Header.Get("Allow"); got != tc.allow {
+			t.Errorf("%s %s Allow = %q, want %q", tc.method, tc.path, got, tc.allow)
+		}
+	}
+}
+
+// TestJSONErrorNegotiation: text endpoints keep plain-text errors by
+// default but honor Accept: application/json with the envelope.
+func TestJSONErrorNegotiation(t *testing.T) {
+	ts := newTestServer(t, Config{})
+
+	// Default: plain text, as always.
+	code, body := get(t, ts.URL+"/analyze/not-a-workload?"+fastQuery)
+	if code != http.StatusNotFound || strings.HasPrefix(body, "{") {
+		t.Fatalf("plain-text error changed: %d %q", code, body)
+	}
+
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/analyze/not-a-workload?"+fastQuery, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if jsonError(t, string(b)) != "not_found" {
+		t.Fatalf("envelope code = %q, want not_found (%s)", jsonError(t, string(b)), b)
+	}
+}
