@@ -63,6 +63,7 @@ import (
 	"repro/internal/optcodec"
 	"repro/internal/profiler"
 	"repro/internal/rtree"
+	"repro/internal/serve"
 	"repro/internal/workload"
 )
 
@@ -99,7 +100,8 @@ commands:
 flags (after positional args): -seed -intervals -warmup -machine -threads
   -interval-insts -period -max-leaves -folds -parallel -profile-dir
   -trace-workers -cachestats -cpuprofile -memprofile -pprof
-serve flags: -addr -cache-entries -timeout -grace
+serve flags: -addr -cache-entries -timeout -grace -heavy-limit -heavy-queue
+  -light-limit -light-queue -retry-after
 export/import flags: -format json|binary, -from auto|eipv|pprof|perf,
   -convert OUT (write OUT instead of analyzing), -cpi X (CPI for sources
   without a cycles/instructions pair)
@@ -155,6 +157,16 @@ func main() {
 	cacheEntries := fs.Int("cache-entries", 64, "serve: Analyze LRU cache cap in entries (0 = unbounded)")
 	reqTimeout := fs.Duration("timeout", 0, "serve: per-request deadline (0 = none)")
 	grace := fs.Duration("grace", 10*time.Second, "serve: shutdown drain window")
+	heavyLimit := fs.Int("heavy-limit", 0,
+		"serve: concurrent simulation-backed requests admitted (0 = 2x NumCPU, min 8; negative = unlimited)")
+	heavyQueue := fs.Int("heavy-queue", 0,
+		"serve: simulation-backed requests queued beyond -heavy-limit before shedding with 429 (0 = 4x limit; negative = none)")
+	lightLimit := fs.Int("light-limit", 0,
+		"serve: concurrent cached-read requests admitted (0 = 256; negative = unlimited)")
+	lightQueue := fs.Int("light-queue", 0,
+		"serve: cached-read requests queued beyond -light-limit (0 = 1024; negative = none)")
+	retryAfter := fs.Duration("retry-after", time.Second,
+		"serve: Retry-After advice carried on 429 shed responses")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
@@ -359,7 +371,19 @@ func main() {
 		if len(pos) != 0 {
 			usage()
 		}
-		if err := runServe(*addr, *cacheEntries, *reqTimeout, *grace, *profileDir, opt); err != nil {
+		err := runServe(serve.Config{
+			Addr:           *addr,
+			CacheEntries:   *cacheEntries,
+			RequestTimeout: *reqTimeout,
+			ShutdownGrace:  *grace,
+			ProfileDir:     *profileDir,
+			HeavyLimit:     *heavyLimit,
+			HeavyQueue:     *heavyQueue,
+			LightLimit:     *lightLimit,
+			LightQueue:     *lightQueue,
+			RetryAfter:     *retryAfter,
+		}, opt)
+		if err != nil {
 			fatal(err)
 		}
 

@@ -6,7 +6,6 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
-	"time"
 
 	fuzzyphase "repro"
 	"repro/internal/serve"
@@ -15,21 +14,17 @@ import (
 // runServe runs the analysis engine as a long-lived HTTP service until
 // SIGINT/SIGTERM, then drains in-flight requests. The -seed/-intervals/
 // -machine/-threads/-parallel flags become the per-request Option
-// defaults; query parameters override them per request.
-func runServe(addr string, cacheEntries int, timeout, grace time.Duration, profileDir string, opt fuzzyphase.Options) error {
+// defaults; query parameters override them per request. cfg carries the
+// transport knobs (address, cache cap, timeouts, admission limits)
+// already parsed from the serve flags.
+func runServe(cfg serve.Config, opt fuzzyphase.Options) error {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
-	srv := serve.New(serve.Config{
-		Addr:           addr,
-		Base:           opt,
-		CacheEntries:   cacheEntries,
-		RequestTimeout: timeout,
-		ShutdownGrace:  grace,
-		ProfileDir:     profileDir,
-		Logf: func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, "# "+format+"\n", args...)
-		},
-	})
+	cfg.Base = opt
+	cfg.Logf = func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "# "+format+"\n", args...)
+	}
+	srv := serve.New(cfg)
 	return srv.ListenAndServe(ctx)
 }

@@ -237,6 +237,29 @@ func (c *analyzeCache) evictLocked() {
 	}
 }
 
+// available reports whether key would be answered without starting new
+// simulation work: a completed retained entry, or (unless completedOnly)
+// a joinable in-flight flight. Purely advisory — the entry can complete,
+// fail, or be evicted between this probe and a subsequent get — so
+// callers may only use it for scheduling decisions (admission bypass),
+// never correctness.
+func (c *analyzeCache) available(key string, completedOnly bool) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	call, ok := c.entries[key]
+	if !ok {
+		return false
+	}
+	select {
+	case <-call.done:
+		// Failed flights are removed from the map before done closes, so a
+		// completed entry still in the map is a retained success.
+		return true
+	default:
+		return !completedOnly && !call.aborted
+	}
+}
+
 func (c *analyzeCache) stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -312,6 +335,26 @@ func resultCost(r *Result) int64 {
 // AnalysisCacheStats returns a snapshot of the process-wide Analyze cache
 // counters.
 func AnalysisCacheStats() CacheStats { return analysisCache.stats() }
+
+// AnalysisCached reports whether Analyze(name, opt) would be answered from
+// a completed, retained cache entry — no simulation and no waiting. The
+// answer is advisory (the entry may be evicted before a subsequent
+// Analyze); use it for scheduling, never correctness.
+func AnalysisCached(name string, opt Options) bool {
+	opt = opt.withDefaults()
+	return analysisCache.available(cacheKey(name, opt), true)
+}
+
+// AnalysisShareable reports whether Analyze(name, opt) would be answered
+// without starting new simulation work: either a completed cached entry or
+// an in-flight flight the call would join (singleflight). Serve-layer
+// admission control uses this to let requests that merely share existing
+// work bypass the simulation-concurrency budget. Advisory, like
+// AnalysisCached.
+func AnalysisShareable(name string, opt Options) bool {
+	opt = opt.withDefaults()
+	return analysisCache.available(cacheKey(name, opt), false)
+}
 
 // SetAnalysisCacheCap bounds the process-wide Analyze cache to at most n
 // completed entries, evicting least-recently-used results immediately if

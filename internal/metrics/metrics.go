@@ -39,6 +39,7 @@ type metricKind string
 const (
 	kindCounter metricKind = "counter"
 	kindGauge   metricKind = "gauge"
+	kindSummary metricKind = "summary"
 )
 
 // metric is one registered time series family.
@@ -52,6 +53,9 @@ type metric struct {
 }
 
 type sample struct {
+	// suffix is appended to the family name before the labels — summaries
+	// use it for their _sum and _count series.
+	suffix string
 	labels string
 	value  float64
 }
@@ -112,11 +116,146 @@ func (r *Registry) LabeledCounter(name, help, label string) func(value string) *
 	}
 }
 
+// LabeledCounterFunc registers a counter family keyed by one label whose
+// values are read from f at scrape time (for monotonic values owned
+// elsewhere). Series render sorted by label value.
+func (r *Registry) LabeledCounterFunc(name, help, label string, f func() map[string]float64) {
+	r.register(name, help, kindCounter, labeledSeries(label, f))
+}
+
+// labeledSeries adapts a label->value callback into sorted samples.
+func labeledSeries(label string, f func() map[string]float64) func() []sample {
+	return func() []sample {
+		vals := f()
+		keys := make([]string, 0, len(vals))
+		for k := range vals {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		out := make([]sample, 0, len(keys))
+		for _, k := range keys {
+			out = append(out, sample{
+				labels: fmt.Sprintf("{%s=%q}", label, k),
+				value:  vals[k],
+			})
+		}
+		return out
+	}
+}
+
 // Gauge registers a callback gauge: f is evaluated at scrape time.
 func (r *Registry) Gauge(name, help string, f func() float64) {
 	r.register(name, help, kindGauge, func() []sample {
 		return []sample{{value: f()}}
 	})
+}
+
+// LabeledGauge registers a gauge family keyed by one label whose values
+// are read from f at scrape time. Series render sorted by label value so
+// scrapes are stable.
+func (r *Registry) LabeledGauge(name, help, label string, f func() map[string]float64) {
+	r.register(name, help, kindGauge, labeledSeries(label, f))
+}
+
+// summaryWindow bounds the per-series observation ring: quantiles are
+// computed over the most recent summaryWindow observations, so a latency
+// spike ages out instead of haunting the summary forever.
+const summaryWindow = 1024
+
+// summaryQuantiles are the quantile series every Summary exposes.
+var summaryQuantiles = []float64{0.5, 0.9, 0.99}
+
+// Summary accumulates observations (seconds, usually) and reports
+// windowed quantiles plus a lifetime _sum and _count, in the Prometheus
+// summary exposition shape.
+type Summary struct {
+	mu   sync.Mutex
+	ring [summaryWindow]float64
+	n    uint64 // lifetime observation count
+	sum  float64
+	tmp  []float64 // scratch for quantile sorting, reused across scrapes
+}
+
+// Observe records one value.
+func (s *Summary) Observe(v float64) {
+	s.mu.Lock()
+	s.ring[s.n%summaryWindow] = v
+	s.n++
+	s.sum += v
+	s.mu.Unlock()
+}
+
+// Count returns the lifetime observation count.
+func (s *Summary) Count() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// quantiles returns the windowed quantile values aligned with
+// summaryQuantiles, plus the lifetime sum and count.
+func (s *Summary) quantiles() ([]float64, float64, uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	live := int(s.n)
+	if live > summaryWindow {
+		live = summaryWindow
+	}
+	s.tmp = append(s.tmp[:0], s.ring[:live]...)
+	sort.Float64s(s.tmp)
+	out := make([]float64, len(summaryQuantiles))
+	for i, q := range summaryQuantiles {
+		if live == 0 {
+			out[i] = 0
+			continue
+		}
+		// Nearest-rank on the sorted window.
+		idx := int(q*float64(live-1) + 0.5)
+		out[i] = s.tmp[idx]
+	}
+	return out, s.sum, s.n
+}
+
+// LabeledSummary registers a summary family keyed by one label and returns
+// a function yielding the summary for a label value (creating it on first
+// use). Each child renders its quantile series followed by _sum and
+// _count, children sorted by label value.
+func (r *Registry) LabeledSummary(name, help, label string) func(value string) *Summary {
+	var mu sync.Mutex
+	children := map[string]*Summary{}
+	r.register(name, help, kindSummary, func() []sample {
+		mu.Lock()
+		defer mu.Unlock()
+		keys := make([]string, 0, len(children))
+		for k := range children {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var out []sample
+		for _, k := range keys {
+			qs, sum, count := children[k].quantiles()
+			for i, q := range summaryQuantiles {
+				out = append(out, sample{
+					labels: fmt.Sprintf("{%s=%q,quantile=%q}", label, k, formatValue(q)),
+					value:  qs[i],
+				})
+			}
+			out = append(out,
+				sample{suffix: "_sum", labels: fmt.Sprintf("{%s=%q}", label, k), value: sum},
+				sample{suffix: "_count", labels: fmt.Sprintf("{%s=%q}", label, k), value: float64(count)})
+		}
+		return out
+	})
+	return func(value string) *Summary {
+		mu.Lock()
+		defer mu.Unlock()
+		s, ok := children[value]
+		if !ok {
+			s = &Summary{}
+			children[value] = s
+		}
+		return s
+	}
 }
 
 // CounterFunc registers a callback counter: f is evaluated at scrape time
@@ -151,7 +290,7 @@ func (r *Registry) WriteText(w io.Writer) error {
 		fmt.Fprintf(&b, "# HELP %s %s\n", m.name, m.help)
 		fmt.Fprintf(&b, "# TYPE %s %s\n", m.name, m.kind)
 		for _, s := range m.series() {
-			fmt.Fprintf(&b, "%s%s %s\n", m.name, s.labels, formatValue(s.value))
+			fmt.Fprintf(&b, "%s%s%s %s\n", m.name, s.suffix, s.labels, formatValue(s.value))
 		}
 	}
 	_, err := io.WriteString(w, b.String())

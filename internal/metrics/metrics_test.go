@@ -53,6 +53,92 @@ func TestHandler(t *testing.T) {
 	}
 }
 
+func TestLabeledGaugeAndCounterFunc(t *testing.T) {
+	r := NewRegistry()
+	depth := map[string]float64{"heavy": 2, "light": 0}
+	r.LabeledGauge("queue_depth", "waiters", "class", func() map[string]float64 { return depth })
+	r.LabeledCounterFunc("shed", "sheds", "class",
+		func() map[string]float64 { return map[string]float64{"heavy": 3} })
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	want := `# HELP queue_depth waiters
+# TYPE queue_depth gauge
+queue_depth{class="heavy"} 2
+queue_depth{class="light"} 0
+# HELP shed sheds
+# TYPE shed counter
+shed{class="heavy"} 3
+`
+	if got != want {
+		t.Fatalf("render mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+
+	// Callback values are read at scrape time.
+	depth["heavy"] = 0
+	b.Reset()
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `queue_depth{class="heavy"} 0`) {
+		t.Fatalf("gauge not re-read at scrape:\n%s", b.String())
+	}
+}
+
+func TestLabeledSummary(t *testing.T) {
+	r := NewRegistry()
+	lat := r.LabeledSummary("dur_seconds", "latency", "endpoint")
+	s := lat("analyze")
+	for i := 1; i <= 100; i++ {
+		s.Observe(float64(i))
+	}
+	lat("workloads").Observe(0.5)
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	for _, line := range []string{
+		"# TYPE dur_seconds summary",
+		`dur_seconds{endpoint="analyze",quantile="0.5"} 51`,
+		`dur_seconds{endpoint="analyze",quantile="0.9"} 90`,
+		`dur_seconds{endpoint="analyze",quantile="0.99"} 99`,
+		`dur_seconds_sum{endpoint="analyze"} 5050`,
+		`dur_seconds_count{endpoint="analyze"} 100`,
+		`dur_seconds{endpoint="workloads",quantile="0.5"} 0.5`,
+		`dur_seconds_count{endpoint="workloads"} 1`,
+	} {
+		if !strings.Contains(got, line) {
+			t.Errorf("summary render missing %q:\n%s", line, got)
+		}
+	}
+	if s.Count() != 100 {
+		t.Errorf("Count = %d, want 100", s.Count())
+	}
+
+	// Quantiles are windowed: once the ring has turned over, only the most
+	// recent observations matter, so an old spike ages out.
+	w := lat("windowed")
+	w.Observe(1000) // the spike
+	for i := 0; i < summaryWindow; i++ {
+		w.Observe(1)
+	}
+	qs, _, n := w.quantiles()
+	if n != summaryWindow+1 {
+		t.Fatalf("lifetime count = %d, want %d", n, summaryWindow+1)
+	}
+	for i, q := range qs {
+		if q != 1 {
+			t.Errorf("windowed quantile %g = %g, want 1 (spike should have aged out)",
+				summaryQuantiles[i], q)
+		}
+	}
+}
+
 func TestDuplicateRegistrationPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

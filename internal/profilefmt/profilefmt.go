@@ -114,6 +114,12 @@ var DefaultLimits = Limits{
 	MaxFeatures:    16 << 20, // total NNZ
 }
 
+// WithDefaults returns l with zero fields filled from DefaultLimits —
+// the effective bounds a decoder will enforce for l. Exported so callers
+// sizing transport-level guards (e.g. http.MaxBytesReader) see the same
+// numbers the decoders do.
+func (l Limits) WithDefaults() Limits { return l.withDefaults() }
+
 // withDefaults fills zero fields from DefaultLimits.
 func (l Limits) withDefaults() Limits {
 	if l.MaxBytes == 0 {

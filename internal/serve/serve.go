@@ -44,6 +44,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -77,8 +78,45 @@ type Config struct {
 	RequestTimeout time.Duration
 	// ShutdownGrace bounds connection draining on shutdown (default 10s).
 	ShutdownGrace time.Duration
+	// HeavyLimit caps concurrently-admitted simulation-backed requests
+	// (analyze, explain, table, figure, quadrants, profile uploads).
+	// 0 applies the default (2×NumCPU, minimum 8); negative = unlimited.
+	// Requests whose analysis is already cached or in flight bypass this
+	// budget (joining existing work adds no simulator load).
+	HeavyLimit int
+	// HeavyQueue bounds how many heavy requests may wait for an admission
+	// slot before the rest are shed with 429 + Retry-After. 0 applies the
+	// default (4×HeavyLimit); negative = no queue (shed as soon as the
+	// limit is reached).
+	HeavyQueue int
+	// LightLimit / LightQueue are the same knobs for the cheap
+	// cached-read class (workloads, cache stats, invalidate). Defaults:
+	// 256 and 1024.
+	LightLimit int
+	LightQueue int
+	// RetryAfter is the advice carried on 429 responses (default 1s,
+	// rounded up to whole seconds).
+	RetryAfter time.Duration
 	// Logf, if non-nil, receives one line per request and lifecycle event.
 	Logf func(format string, args ...any)
+}
+
+// Admission-control defaults (see Config.HeavyLimit etc.).
+const (
+	defaultLightLimit = 256
+	defaultLightQueue = 1024
+)
+
+// resolveLimit maps a Config limit knob to its effective value: 0 picks
+// def, negative disables the bound.
+func resolveLimit(v, def int) int {
+	if v == 0 {
+		return def
+	}
+	if v < 0 {
+		return 0 // limiter treats 0 as unlimited
+	}
+	return v
 }
 
 // Server is the HTTP service.
@@ -89,11 +127,17 @@ type Server struct {
 	reg      *metrics.Registry
 	requests func(endpoint string) *metrics.Counter
 	errors   func(endpoint string) *metrics.Counter
+	latency  func(endpoint string) *metrics.Summary
 	inFlight atomic.Int64
 
-	uploads       func(encoding string) *metrics.Counter
-	uploadBytes   *metrics.Counter
-	uploadRejects *metrics.Counter
+	uploads             func(encoding string) *metrics.Counter
+	uploadBytes         *metrics.Counter
+	uploadRejects       *metrics.Counter
+	uploadRejectedBytes *metrics.Counter
+
+	// Admission classes (see admission.go).
+	heavy, light *limiter
+	retryAfter   int // whole seconds, for Retry-After headers
 
 	workloads map[string]bool
 }
@@ -121,25 +165,61 @@ func New(cfg Config) *Server {
 		}
 	}
 
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+
 	s := &Server{cfg: cfg, mux: http.NewServeMux(), reg: metrics.NewRegistry()}
 	s.workloads = map[string]bool{}
 	for _, name := range fuzzyphase.Workloads() {
 		s.workloads[name] = true
 	}
 
+	heavyLimit := resolveLimit(cfg.HeavyLimit, max(8, 2*runtime.NumCPU()))
+	heavyQueue := resolveLimit(cfg.HeavyQueue, 4*heavyLimit)
+	s.heavy = newLimiter("heavy", heavyLimit, heavyQueue)
+	s.light = newLimiter("light",
+		resolveLimit(cfg.LightLimit, defaultLightLimit),
+		resolveLimit(cfg.LightQueue, defaultLightQueue))
+	s.retryAfter = int((cfg.RetryAfter + time.Second - 1) / time.Second)
+
 	s.requests = s.reg.LabeledCounter("fuzzyphase_requests_total",
 		"Requests received, by endpoint.", "endpoint")
 	s.errors = s.reg.LabeledCounter("fuzzyphase_request_errors_total",
 		"Requests answered with a non-2xx status, by endpoint.", "endpoint")
+	s.latency = s.reg.LabeledSummary("fuzzyphase_request_duration_seconds",
+		"Request latency in seconds, by endpoint (windowed quantiles over the most recent observations).", "endpoint")
 	s.reg.Gauge("fuzzyphase_requests_in_flight",
 		"Requests currently being served.",
 		func() float64 { return float64(s.inFlight.Load()) })
+	perClass := func(f func(l *limiter) float64) func() map[string]float64 {
+		return func() map[string]float64 {
+			return map[string]float64{"heavy": f(s.heavy), "light": f(s.light)}
+		}
+	}
+	s.reg.LabeledCounterFunc("fuzzyphase_admission_queued",
+		"Requests that waited in an admission queue before being served, by class.", "class",
+		perClass(func(l *limiter) float64 { return float64(l.queuedTotal.Load()) }))
+	s.reg.LabeledCounterFunc("fuzzyphase_admission_shed",
+		"Requests shed with 429 because the class was saturated and its queue full, by class.", "class",
+		perClass(func(l *limiter) float64 { return float64(l.shedTotal.Load()) }))
+	s.reg.LabeledGauge("fuzzyphase_admission_queue_depth",
+		"Requests currently waiting for an admission slot, by class.", "class",
+		perClass(func(l *limiter) float64 { return float64(l.queued.Load()) }))
+	s.reg.LabeledGauge("fuzzyphase_admission_in_flight",
+		"Requests currently holding an admission slot, by class.", "class",
+		perClass(func(l *limiter) float64 { return float64(l.inFlight.Load()) }))
+	s.reg.LabeledGauge("fuzzyphase_admission_limit",
+		"Configured concurrency limit per class (0 = unlimited).", "class",
+		perClass(func(l *limiter) float64 { return float64(l.limit) }))
 	s.uploads = s.reg.LabeledCounter("fuzzyphase_uploads_total",
 		"External profiles accepted by POST /v1/analyze and /v1/quadrant, by wire encoding.", "encoding")
 	s.uploadBytes = s.reg.Counter("fuzzyphase_upload_bytes_total",
 		"Encoded bytes consumed from accepted profile uploads.")
 	s.uploadRejects = s.reg.Counter("fuzzyphase_upload_rejects_total",
 		"Profile uploads rejected before analysis (corrupt, oversized, or unsupported media type).")
+	s.uploadRejectedBytes = s.reg.Counter("fuzzyphase_upload_rejected_bytes_total",
+		"Encoded bytes consumed (decoded plus drained) from rejected profile uploads.")
 
 	cache := func(f func(experiment.CacheStats) float64) func() float64 {
 		return func() float64 { return f(experiment.AnalysisCacheStats()) }
@@ -218,14 +298,16 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 
-	s.handle("workloads", "/workloads", s.handleWorkloads)
-	s.handle("analyze", "/analyze/", s.handleAnalyze)
-	s.handle("explain", "/explain/", s.handleExplain)
-	s.handle("table", "/table/", s.handleTable)
-	s.handle("figure", "/figure/", s.handleFigure)
-	s.handle("quadrants", "/quadrants", s.handleQuadrants)
-	s.handle("cache", "/cache/stats", s.handleCacheStats)
-	s.route(routeCfg{name: "cache", methods: []string{http.MethodPost}},
+	s.route(routeCfg{name: "workloads", class: classLight}, "/workloads", s.handleWorkloads)
+	s.route(routeCfg{name: "analyze", class: classHeavy, coalesce: s.analysisShareable("/analyze/")},
+		"/analyze/", s.handleAnalyze)
+	s.route(routeCfg{name: "explain", class: classHeavy, coalesce: s.analysisShareable("/explain/")},
+		"/explain/", s.handleExplain)
+	s.route(routeCfg{name: "table", class: classHeavy}, "/table/", s.handleTable)
+	s.route(routeCfg{name: "figure", class: classHeavy}, "/figure/", s.handleFigure)
+	s.route(routeCfg{name: "quadrants", class: classHeavy}, "/quadrants", s.handleQuadrants)
+	s.route(routeCfg{name: "cache", class: classLight}, "/cache/stats", s.handleCacheStats)
+	s.route(routeCfg{name: "cache", class: classLight, methods: []string{http.MethodPost}},
 		"/cache/invalidate", func(_ context.Context, r *http.Request, buf *bytes.Buffer) error {
 			experiment.InvalidateAnalysisCache()
 			s.cfg.Logf("cache invalidated by %s", r.RemoteAddr)
@@ -237,9 +319,9 @@ func (s *Server) routes() {
 	// JSON regardless of Accept). The exact "/analyze" pattern coexists
 	// with the "/analyze/" prefix above: POST /analyze uploads a profile,
 	// GET /analyze/{workload} analyzes a built-in one.
-	s.route(routeCfg{name: "upload-analyze", methods: []string{http.MethodPost}, json: true},
+	s.route(routeCfg{name: "upload-analyze", class: classHeavy, methods: []string{http.MethodPost}, json: true},
 		"/analyze", s.handleUploadAnalyze)
-	s.route(routeCfg{name: "upload-quadrant", methods: []string{http.MethodPost}, json: true},
+	s.route(routeCfg{name: "upload-quadrant", class: classHeavy, methods: []string{http.MethodPost}, json: true},
 		"/quadrant", s.handleUploadQuadrant)
 
 	// The versioned public surface: /v1/<path> is <path>. Mounting the mux
@@ -252,10 +334,13 @@ func (s *Server) routes() {
 // Handler returns the root handler (exported for tests and embedding).
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// httpError carries a status code out of a handler.
+// httpError carries a status code out of a handler. retryAfter, if
+// nonzero, is rendered as a Retry-After header (whole seconds) — 429s use
+// it to tell shed clients when to come back.
 type httpError struct {
-	code int
-	msg  string
+	code       int
+	msg        string
+	retryAfter int
 }
 
 func (e *httpError) Error() string { return e.msg }
@@ -282,17 +367,21 @@ type routeCfg struct {
 	// application/json and errors use the JSON envelope even when the
 	// client sent no Accept header.
 	json bool
-}
-
-// handle registers a conventional read-only endpoint (GET/HEAD, text
-// body).
-func (s *Server) handle(name, pattern string, h handler) {
-	s.route(routeCfg{name: name}, pattern, h)
+	// class selects the admission-control budget this endpoint draws from
+	// (see admission.go).
+	class admitClass
+	// coalesce, if non-nil, reports that this request's work is already
+	// cached or in flight, in which case it bypasses admission: joining
+	// existing work adds no simulator load, so it must not be queued or
+	// shed behind requests that do.
+	coalesce func(*http.Request) bool
 }
 
 // route wraps a handler with method filtering (405 + Allow), request
-// accounting, the per-request timeout, buffered rendering, content-type
-// negotiation for errors, and error classification.
+// accounting, admission control, the per-request timeout, buffered
+// rendering, content-type negotiation for errors, and error
+// classification. HEAD requests get the same headers as GET — including
+// Content-Length when the handler rendered — with the body suppressed.
 func (s *Server) route(cfg routeCfg, pattern string, h handler) {
 	methods := cfg.methods
 	if methods == nil {
@@ -304,6 +393,17 @@ func (s *Server) route(cfg routeCfg, pattern string, h handler) {
 		contentType = "application/json; charset=utf-8"
 	}
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		// Every arrival is accounted — including method probes, which
+		// used to return before the counters and the log line and were
+		// therefore invisible in /metrics.
+		s.requests(cfg.name).Inc()
+		s.inFlight.Add(1)
+		defer s.inFlight.Add(-1)
+		start := time.Now()
+		defer func() {
+			s.latency(cfg.name).Observe(time.Since(start).Seconds())
+		}()
+
 		allowed := false
 		for _, m := range methods {
 			if r.Method == m {
@@ -313,14 +413,13 @@ func (s *Server) route(cfg routeCfg, pattern string, h handler) {
 		}
 		if !allowed {
 			w.Header().Set("Allow", allow)
+			s.errors(cfg.name).Inc()
 			s.writeError(w, r, cfg.json, http.StatusMethodNotAllowed,
 				fmt.Sprintf("method %s not allowed (allow: %s)", r.Method, allow))
+			s.cfg.Logf("%s %s -> %d (%s)", r.Method, r.URL.RequestURI(),
+				http.StatusMethodNotAllowed, time.Since(start).Round(time.Millisecond))
 			return
 		}
-		s.requests(cfg.name).Inc()
-		s.inFlight.Add(1)
-		defer s.inFlight.Add(-1)
-		start := time.Now()
 
 		ctx := r.Context()
 		timeout, err := requestTimeout(r, s.cfg.RequestTimeout)
@@ -328,6 +427,19 @@ func (s *Server) route(cfg routeCfg, pattern string, h handler) {
 			var cancel context.CancelFunc
 			ctx, cancel = context.WithTimeout(ctx, timeout)
 			defer cancel()
+		}
+		if err == nil {
+			// Admission: acquire a class slot unless the request coalesces
+			// with work that is already cached or in flight. Queue waiting
+			// respects the request deadline set above.
+			if lim := s.limiterFor(cfg.class); lim != nil &&
+				(cfg.coalesce == nil || !cfg.coalesce(r)) {
+				var release func()
+				release, err = lim.acquire(ctx, s.retryAfter)
+				if err == nil {
+					defer release()
+				}
+			}
 		}
 		var buf bytes.Buffer
 		if err == nil {
@@ -337,9 +449,16 @@ func (s *Server) route(cfg routeCfg, pattern string, h handler) {
 		code := http.StatusOK
 		if err != nil {
 			var he *httpError
+			var shed *shedError
 			switch {
+			case errors.As(err, &shed):
+				code = http.StatusTooManyRequests
+				w.Header().Set("Retry-After", strconv.Itoa(shed.retryAfter))
 			case errors.As(err, &he):
 				code = he.code
+				if he.retryAfter > 0 {
+					w.Header().Set("Retry-After", strconv.Itoa(he.retryAfter))
+				}
 			case errors.Is(err, context.DeadlineExceeded):
 				code = http.StatusGatewayTimeout
 			case errors.Is(err, context.Canceled):
@@ -353,7 +472,18 @@ func (s *Server) route(cfg routeCfg, pattern string, h handler) {
 			s.writeError(w, r, cfg.json, code, err.Error())
 		} else {
 			w.Header().Set("Content-Type", contentType)
-			_, _ = w.Write(buf.Bytes())
+			if r.Method == http.MethodHead {
+				// Headers only. When the handler rendered (cheap endpoint,
+				// or a warm analysis served from cache) the body length is
+				// known exactly; a cold HEAD short-circuits with no length
+				// rather than paying for a simulation whose bytes would be
+				// discarded.
+				if buf.Len() > 0 {
+					w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+				}
+			} else {
+				_, _ = w.Write(buf.Bytes())
+			}
 		}
 		s.cfg.Logf("%s %s -> %d (%s)", r.Method, r.URL.RequestURI(), code,
 			time.Since(start).Round(time.Millisecond))
@@ -370,6 +500,8 @@ func errorCode(status int) string {
 		return "not_found"
 	case http.StatusMethodNotAllowed:
 		return "method_not_allowed"
+	case http.StatusTooManyRequests:
+		return "over_capacity"
 	case http.StatusRequestEntityTooLarge:
 		return "payload_too_large"
 	case http.StatusUnsupportedMediaType:
@@ -445,12 +577,25 @@ func (s *Server) handleAnalyze(ctx context.Context, r *http.Request, buf *bytes.
 	if err != nil {
 		return err
 	}
+	if headUncached(r, name, opt) {
+		return nil
+	}
 	res, err := experiment.AnalyzeCtx(ctx, name, opt)
 	if err != nil {
 		return err
 	}
 	buf.WriteString(experiment.Summary(res))
 	return nil
+}
+
+// headUncached reports that r is a HEAD probe whose analysis is not
+// already cached. Handlers short-circuit it after validating arguments:
+// the probe gets its 200/404/400 and headers, but a health-checking load
+// balancer can never trigger a cold simulation whose body would only be
+// discarded. Warm probes fall through, render from cache in microseconds,
+// and so carry an exact Content-Length.
+func headUncached(r *http.Request, name string, opt experiment.Options) bool {
+	return r.Method == http.MethodHead && !experiment.AnalysisCached(name, opt)
 }
 
 // handleExplain serves GET /explain/{workload}: the `fuzzyphase explain`
@@ -467,6 +612,9 @@ func (s *Server) handleExplain(ctx context.Context, r *http.Request, buf *bytes.
 	opt, err := optionsFromQuery(s.cfg.Base, r.URL.Query())
 	if err != nil {
 		return err
+	}
+	if headUncached(r, name, opt) {
+		return nil
 	}
 	res, err := experiment.AnalyzeCtx(ctx, name, opt)
 	if err != nil {
@@ -493,6 +641,12 @@ func (s *Server) handleTable(ctx context.Context, r *http.Request, buf *bytes.Bu
 	if arg == "2" {
 		id = 2
 	}
+	if r.Method == http.MethodHead {
+		// Multi-workload renders never simulate for a HEAD probe; the
+		// response carries headers only (no Content-Length, since the body
+		// length is unknown without running the pipeline).
+		return nil
+	}
 	return fuzzyphase.TableCtx(ctx, id, opt, buf, nil)
 }
 
@@ -510,6 +664,9 @@ func (s *Server) handleFigure(ctx context.Context, r *http.Request, buf *bytes.B
 	if err != nil {
 		return err
 	}
+	if r.Method == http.MethodHead {
+		return nil // see handleTable: HEAD never simulates
+	}
 	return fuzzyphase.FigureCtx(ctx, id, opt, buf)
 }
 
@@ -520,6 +677,9 @@ func (s *Server) handleQuadrants(ctx context.Context, r *http.Request, buf *byte
 	opt, err := optionsFromQuery(s.cfg.Base, r.URL.Query())
 	if err != nil {
 		return err
+	}
+	if r.Method == http.MethodHead {
+		return nil // see handleTable: HEAD never simulates
 	}
 	rows, err := experiment.Table2(ctx, opt, nil)
 	if err != nil {
@@ -553,6 +713,8 @@ func (s *Server) serve(ctx context.Context, ln net.Listener) error {
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	s.cfg.Logf("serving on http://%s (cache cap %d entries)", ln.Addr(), s.cfg.CacheEntries)
+	s.cfg.Logf("admission: heavy limit %d queue %d, light limit %d queue %d, retry-after %ds",
+		s.heavy.limit, s.heavy.queueCap, s.light.limit, s.light.queueCap, s.retryAfter)
 	if s.cfg.ProfileDir != "" {
 		s.cfg.Logf("profile store: persistent tier at %s", s.cfg.ProfileDir)
 	}

@@ -260,6 +260,106 @@ func TestGracefulShutdown(t *testing.T) {
 	}
 }
 
+// TestMethodNotAllowedAccounted is the 405-accounting regression test:
+// method probes used to return before the request/error counters and the
+// access log, so a scanner hammering the service with bad methods was
+// invisible in /metrics. Every arrival must move requests_total, and a
+// 405 must move errors_total.
+func TestMethodNotAllowedAccounted(t *testing.T) {
+	ts := newTestServer(t, Config{})
+
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/workloads", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("DELETE /workloads = %d, want 405", resp.StatusCode)
+	}
+
+	_, body := get(t, ts.URL+"/metrics")
+	for _, series := range []string{
+		`fuzzyphase_requests_total{endpoint="workloads"} 1`,
+		`fuzzyphase_request_errors_total{endpoint="workloads"} 1`,
+	} {
+		if !strings.Contains(body, series) {
+			t.Errorf("/metrics missing %q after a 405 (method probes must be accounted)", series)
+		}
+	}
+}
+
+// head issues a HEAD request and returns status, body, and headers.
+func head(t *testing.T, url string) (int, string, http.Header) {
+	t.Helper()
+	resp, err := http.Head(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b), resp.Header
+}
+
+// TestHEADNeverSimulates: a HEAD probe on a cold analysis (the
+// load-balancer health-check pattern) must answer 200 without running the
+// pipeline; once the result is cached, HEAD reports the exact
+// Content-Length of the GET body; and bad arguments still get their
+// 4xx so probes keep their diagnostic value.
+func TestHEADNeverSimulates(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	experiment.InvalidateAnalysisCache()
+	before := experiment.AnalysisCacheStats()
+
+	// Cold probe: 200, empty body, no simulation started.
+	code, body, hdr := head(t, ts.URL+"/analyze/spec.gzip?"+fastQuery)
+	if code != http.StatusOK || body != "" {
+		t.Fatalf("cold HEAD = %d body %q, want 200 with empty body", code, body)
+	}
+	if cl := hdr.Get("Content-Length"); cl != "" && cl != "0" {
+		t.Errorf("cold HEAD Content-Length = %q, want none (length unknown without simulating)", cl)
+	}
+	if st := experiment.AnalysisCacheStats(); st.Misses != before.Misses {
+		t.Fatalf("cold HEAD started a simulation: misses %d -> %d", before.Misses, st.Misses)
+	}
+
+	// Same for the multi-workload renders.
+	for _, path := range []string{"/table/2?" + fastQuery, "/figure/2?" + fastQuery, "/quadrants?" + fastQuery} {
+		if code, body, _ := head(t, ts.URL+path); code != http.StatusOK || body != "" {
+			t.Errorf("HEAD %s = %d body %q, want 200 empty", path, code, body)
+		}
+	}
+	if st := experiment.AnalysisCacheStats(); st.Misses != before.Misses {
+		t.Fatal("a multi-workload HEAD probe started a simulation")
+	}
+
+	// Warm the key, then probe again: the body renders from cache and the
+	// probe carries its exact length.
+	_, full := get(t, ts.URL+"/analyze/spec.gzip?"+fastQuery)
+	code, body, hdr = head(t, ts.URL+"/analyze/spec.gzip?"+fastQuery)
+	if code != http.StatusOK || body != "" {
+		t.Fatalf("warm HEAD = %d body %q", code, body)
+	}
+	if got := hdr.Get("Content-Length"); got != fmt.Sprint(len(full)) {
+		t.Errorf("warm HEAD Content-Length = %q, want %d", got, len(full))
+	}
+
+	// Argument validation still happens before the short-circuit.
+	if code, _, _ := head(t, ts.URL+"/analyze/not-a-workload?"+fastQuery); code != http.StatusNotFound {
+		t.Errorf("HEAD unknown workload = %d, want 404", code)
+	}
+	if code, _, _ := head(t, ts.URL+"/analyze/spec.gzip?intervals=sixty"); code != http.StatusBadRequest {
+		t.Errorf("HEAD bad options = %d, want 400", code)
+	}
+}
+
 // TestProfileDirWarmRestart: a second server pointed at the same profile
 // directory must serve a cold-cache analysis from the disk tier — the
 // "fleet restart" scenario the store exists for — with a byte-identical

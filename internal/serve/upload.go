@@ -41,6 +41,15 @@ import (
 // package defaults verbatim (documented in DESIGN.md §5).
 var uploadLimits = profilefmt.DefaultLimits
 
+// rejectDrainLimit bounds how much of a rejected upload's unread body the
+// server will consume before answering, so the keep-alive connection can
+// be reused instead of torn down (Go's HTTP server closes the connection
+// when a handler leaves more unread than its own small auto-drain
+// allowance). A reject that still has more than this buffered is hopeless
+// — reading megabytes to save a reconnect is a worse trade — and the
+// connection closes as before.
+const rejectDrainLimit = 1 << 20
+
 // countingReader counts consumed bytes for the upload-bytes metric.
 type countingReader struct {
 	r io.Reader
@@ -53,6 +62,16 @@ func (c *countingReader) Read(p []byte) (int, error) {
 	return n, err
 }
 
+// drainRejected consumes a bounded remainder of a rejected upload's body
+// and accounts every byte the reject cost (decoded + drained) to the
+// rejected-bytes counter. consumed is what the decoder read before
+// rejecting.
+func (s *Server) drainRejected(r *http.Request, consumed int64) {
+	n, _ := io.Copy(io.Discard, io.LimitReader(r.Body, rejectDrainLimit))
+	s.uploadRejects.Inc()
+	s.uploadRejectedBytes.Add(uint64(consumed + n))
+}
+
 // decodeUpload reads and decodes the request body per Content-Type,
 // returning the validated profile and its content key (the hex SHA-256 of
 // the canonical binary encoding — identical for JSON and binary uploads
@@ -63,6 +82,13 @@ func (s *Server) decodeUpload(r *http.Request) (*profilefmt.Profile, string, err
 		ct = ct[:i] // drop parameters (charset=...)
 	}
 	ct = strings.ToLower(strings.TrimSpace(ct))
+
+	// Hard-stop the body one slack block past the decode limit: the
+	// streaming decoders read at most MaxBytes+1 bytes themselves, so a
+	// well-behaved decode never trips the wrapper, but nothing a client
+	// sends can make the server read without bound.
+	lim := uploadLimits.WithDefaults()
+	r.Body = http.MaxBytesReader(nil, r.Body, lim.MaxBytes+(64<<10))
 
 	cr := &countingReader{r: r.Body}
 	var (
@@ -80,12 +106,12 @@ func (s *Server) decodeUpload(r *http.Request) (*profilefmt.Profile, string, err
 	case "":
 		p, kind, err = profilefmt.Decode(cr, uploadLimits)
 	default:
-		s.uploadRejects.Inc()
+		s.drainRejected(r, cr.n)
 		return nil, "", &httpError{code: http.StatusUnsupportedMediaType,
 			msg: "unsupported Content-Type " + ct + " (want application/json, application/octet-stream, or application/x-fuzzyphase-eipv)"}
 	}
 	if err != nil {
-		s.uploadRejects.Inc()
+		s.drainRejected(r, cr.n)
 		return nil, "", profileHTTPError(err)
 	}
 	s.uploads(kind.String()).Inc()
@@ -99,8 +125,9 @@ func (s *Server) decodeUpload(r *http.Request) (*profilefmt.Profile, string, err
 // statuses: limit violations are 413, everything else the client sent
 // wrong is a 400.
 func profileHTTPError(err error) error {
+	var mbe *http.MaxBytesError
 	switch {
-	case errors.Is(err, profilefmt.ErrTooLarge):
+	case errors.Is(err, profilefmt.ErrTooLarge), errors.As(err, &mbe):
 		return &httpError{code: http.StatusRequestEntityTooLarge, msg: err.Error()}
 	case errors.Is(err, profilefmt.ErrCorrupt),
 		errors.Is(err, profilefmt.ErrInvalid),

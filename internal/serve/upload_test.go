@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
+	"net/http/httptrace"
 	"reflect"
 	"strings"
 	"testing"
@@ -194,6 +196,95 @@ func TestUploadRejections(t *testing.T) {
 	_, metricsBody := get(t, ts.URL+"/metrics")
 	if !strings.Contains(metricsBody, "fuzzyphase_upload_rejects_total") {
 		t.Error("/metrics missing fuzzyphase_upload_rejects_total")
+	}
+}
+
+// TestRejectedUploadKeepsConnectionAlive is the keep-alive regression
+// test: a rejected upload used to leave the request body unread, and any
+// body larger than the HTTP server's small auto-drain allowance (256 KiB)
+// forced the connection closed — every reject from a well-behaved client
+// cost a reconnect. The server now drains a bounded remainder, so the same
+// connection serves the next request, and the drained bytes are accounted.
+func TestRejectedUploadKeepsConnectionAlive(t *testing.T) {
+	ts := newTestServer(t, Config{})
+
+	// One dedicated connection so reuse is observable.
+	tr := &http.Transport{MaxIdleConns: 1, MaxIdleConnsPerHost: 1}
+	defer tr.CloseIdleConnections()
+	client := &http.Client{Transport: tr}
+
+	// Big enough that Go's auto-drain gives up, small enough to stay well
+	// under the server's 1 MiB reject-drain bound.
+	garbage := bytes.Repeat([]byte("x"), 512<<10)
+
+	do := func(req *http.Request) (*http.Response, bool) {
+		t.Helper()
+		reused := false
+		trace := &httptrace.ClientTrace{
+			GotConn: func(info httptrace.GotConnInfo) { reused = info.Reused },
+		}
+		resp, err := client.Do(req.WithContext(httptrace.WithClientTrace(req.Context(), trace)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp, reused
+	}
+
+	// Reject #1: unsupported media type with a large unread body.
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/analyze", bytes.NewReader(garbage))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "text/csv")
+	resp, _ := do(req)
+	if resp.StatusCode != http.StatusUnsupportedMediaType {
+		t.Fatalf("mistyped big upload = %d, want 415", resp.StatusCode)
+	}
+
+	// The next request must ride the same connection.
+	req, err = http.NewRequest(http.MethodGet, ts.URL+"/healthz", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, reused := do(req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz after reject = %d", resp.StatusCode)
+	}
+	if !reused {
+		t.Fatal("connection was not reused after a rejected upload (body left undrained)")
+	}
+
+	// Reject #2: a decode failure partway through a large garbage body —
+	// same guarantee.
+	req, err = http.NewRequest(http.MethodPost, ts.URL+"/v1/analyze", bytes.NewReader(garbage))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, _ = do(req)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage big upload = %d, want 400", resp.StatusCode)
+	}
+	req, err = http.NewRequest(http.MethodGet, ts.URL+"/healthz", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, reused = do(req); !reused {
+		t.Fatal("connection was not reused after a decode-failure reject")
+	}
+
+	// Every rejected byte (decoded + drained) is on the books.
+	_, metricsBody := get(t, ts.URL+"/metrics")
+	var rejected float64
+	for _, line := range strings.Split(metricsBody, "\n") {
+		if v, ok := strings.CutPrefix(line, "fuzzyphase_upload_rejected_bytes_total "); ok {
+			fmt.Sscanf(v, "%g", &rejected)
+		}
+	}
+	if rejected < float64(2*len(garbage)) {
+		t.Errorf("fuzzyphase_upload_rejected_bytes_total = %g, want >= %d", rejected, 2*len(garbage))
 	}
 }
 
