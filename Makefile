@@ -1,7 +1,7 @@
 # Tier-1 verification plus race/vet hygiene in one command: `make check`.
 GO ?= go
 
-.PHONY: build test race vet bench benchjson benchjson-kmeans benchjson-profiler benchjson-collect benchjson-serve check results verify-results verify-results-store serve-smoke serve-load-smoke fuzz-smoke
+.PHONY: build test race vet bench benchjson benchjson-kmeans benchjson-sampling benchjson-profiler benchjson-collect benchjson-serve check results verify-results verify-results-store serve-smoke serve-load-smoke fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -33,6 +33,16 @@ benchjson-kmeans:
 		./internal/kmeans/ ./internal/sampling/ \
 		| $(GO) run ./cmd/benchjson > BENCH_kmeans.json
 	@cat BENCH_kmeans.json
+
+# Machine-readable §7 estimator benchmark numbers: the two-phase
+# pilot+Neyman estimator vs oracle-variance stratified at the same
+# budget (both through Estimate, clustering included), plus the full
+# Evaluate sweep over every technique.
+benchjson-sampling:
+	$(GO) test -run '^$$' -bench 'TwoPhase|SamplingEvaluate' -benchmem -benchtime 3x \
+		./internal/sampling/ \
+		| $(GO) run ./cmd/benchjson > BENCH_sampling.json
+	@cat BENCH_sampling.json
 
 # Machine-readable profile-store benchmark numbers: one full collection
 # per tier (cold = simulate, disk-warm = decode stored entry, mem-warm =

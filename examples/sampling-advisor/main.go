@@ -2,8 +2,14 @@
 // single sampled-simulation technique suits every workload, but the
 // quadrant classification tells you which one to use. For a handful of
 // workloads spanning all four quadrants, it measures the actual
-// CPI-estimation error of uniform, random, phase-based and stratified
-// sampling under the same interval budget.
+// CPI-estimation error of uniform, random, phase-based, stratified and
+// two-phase stratified sampling under the same interval budget.
+//
+// Two of the columns deserve a caveat: stratified allocates its budget
+// by the *full-series* per-cluster CPI variance — an oracle no real
+// sampled simulation has — while two-phase (Ekman) measures variance
+// with a small pilot and allocates the rest by what it observed. When
+// the two columns are close, prefer two-phase: its number is honest.
 package main
 
 import (
@@ -40,8 +46,10 @@ func main() {
 	fmt.Println("  - on Q-I/Q-II workloads every technique is accurate: variance is tiny,")
 	fmt.Println("    so the paper recommends the simplest (uniform).")
 	fmt.Println("  - on Q-IV workloads phase-based sampling exploits the strong phases.")
-	fmt.Println("  - on Q-III workloads phases lie about performance; spreading samples")
-	fmt.Println("    (stratified/statistical) hedges the unexplained variance.")
+	fmt.Println("  - on Q-III workloads phases lie about performance; two-phase sampling")
+	fmt.Println("    pilot-measures the unexplained variance and spends the budget there.")
+	fmt.Println("  - stratified reads full-series cluster variances (an oracle);")
+	fmt.Println("    two-phase measures them from its own pilot samples (honest).")
 
 	for _, r := range rows {
 		rec := fuzzyphase.Recommend(r.Quadrant)

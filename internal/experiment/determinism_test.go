@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"math"
+	"strings"
 	"testing"
 
 	"repro/internal/sampling"
@@ -43,6 +44,13 @@ func renderClusteringSections(t *testing.T, parallelism int) string {
 func TestClusteringSectionsDeterminism(t *testing.T) {
 	InvalidateAnalysisCache()
 	first := renderClusteringSections(t, 1)
+	// The §7 table must carry the two-phase column, so its pilot-driven
+	// estimator (per-stratum Fisher–Yates continued across two phases,
+	// allocation a pure function of the pilot) is inside the byte-identity
+	// checks below.
+	if !strings.Contains(first, "two-phase") {
+		t.Fatalf("two-phase column missing from §7 render:\n%s", first)
+	}
 	InvalidateAnalysisCache()
 	second := renderClusteringSections(t, 1)
 	if first != second {

@@ -436,8 +436,10 @@ type SamplingRow struct {
 	RequiredFor2Pct int
 }
 
-// Section7Sampling evaluates every sampling technique on every named
-// workload with the given interval budget.
+// Section7Sampling evaluates every sampling technique — the paper's four
+// plus two-phase stratified (Ekman) — on every named workload with the
+// given interval budget; each technique becomes one column of the §7
+// table in presentation order (sampling.Techniques).
 func Section7Sampling(ctx context.Context, names []string, budget int, opt Options) ([]SamplingRow, error) {
 	workers := Workers(opt.Parallelism)
 	inner := opt

@@ -87,10 +87,14 @@ func Recommend(q Quadrant) sampling.Technique {
 		// as good as phase-based and simpler.
 		return sampling.Uniform
 	case QIII:
-		// High variance that code cannot explain: statistical sampling
-		// with many samples (stratification hedges the unexplained
-		// variance).
-		return sampling.Stratified
+		// High variance that code cannot explain: don't trust the code
+		// clustering — pilot-measure each stratum's CPI variance and
+		// Neyman-allocate the budget by what was *observed* (Ekman's
+		// two-phase stratified sampling). Measured on q18 across seeds,
+		// two-phase is both more accurate on average and far more
+		// consistent than oracle-variance stratified (results/
+		// section7.txt; EXPERIMENTS.md §7).
+		return sampling.TwoPhase
 	case QIV:
 		// High variance, strong phases: phase-based sampling shines.
 		return sampling.PhaseBased
@@ -107,7 +111,7 @@ func Rationale(q Quadrant) string {
 	case QII:
 		return "subtle CPI changes are captured by EIPVs, yet variance is too small for phase-based sampling to pay off"
 	case QIII:
-		return "high CPI variance uncorrelated with code; no few-sample technique is safe — use many statistical samples"
+		return "high CPI variance uncorrelated with code; pilot-measure per-stratum variance and spend the budget where it was observed (two-phase)"
 	case QIV:
 		return "high CPI variance with strong phase behavior; a few phase-based samples capture CPI"
 	default:

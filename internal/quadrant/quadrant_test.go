@@ -55,6 +55,12 @@ func TestRecommendations(t *testing.T) {
 	if Recommend(QIII) == sampling.PhaseBased {
 		t.Fatal("Q-III must not rely on phase-based sampling")
 	}
+	// The post-paper revision (Ekman): Q-III's unexplained variance is
+	// hedged by measuring it, not by trusting the oracle-variance
+	// stratified allocation.
+	if Recommend(QIII) != sampling.TwoPhase {
+		t.Fatal("Q-III should use two-phase stratified sampling")
+	}
 	for _, q := range []Quadrant{QI, QII, QIII, QIV} {
 		if Rationale(q) == "" || Rationale(q) == "unknown" {
 			t.Errorf("missing rationale for %v", q)

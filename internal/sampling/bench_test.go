@@ -38,3 +38,26 @@ func BenchmarkSamplingEvaluate(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkTwoPhase isolates the two-phase estimator — the §7 technique
+// whose pilot + Neyman reallocation adds work over plain stratified —
+// against stratified at the same budget, both including their clustering
+// phase as Estimate runs them.
+func BenchmarkTwoPhase(b *testing.B) {
+	rng := xrand.New(42)
+	vectors, cpis := randomVectors(rng, 320, 120, 40)
+	mtx := kmeans.IndexVectors(vectors)
+	for _, bench := range []struct {
+		name string
+		tech Technique
+	}{{"two-phase", TwoPhase}, {"stratified", Stratified}} {
+		b.Run(bench.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := Estimate(bench.tech, cpis, mtx, 16, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

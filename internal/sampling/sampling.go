@@ -6,7 +6,18 @@
 //   - phase-based sampling [27][28]: cluster EIPVs with K-means, simulate
 //     one representative interval per cluster, weight by cluster size;
 //   - stratified sampling [25]: like phase-based, but high-CPI-variance
-//     clusters get extra samples (Neyman allocation).
+//     clusters get extra samples (Neyman allocation over the full-series
+//     cluster variances — an oracle no real sampled simulation has);
+//   - two-phase stratified sampling (Ekman): cluster cheaply, spend a
+//     small pilot (two samples per stratum) to *measure* per-stratum CPI
+//     variance, then Neyman-allocate the remaining budget by those
+//     observed variances — the honest, oracle-free successor to
+//     stratified that §7 leaves open for the high-variance quadrants.
+//
+// All within-stratum draws are without replacement (partial Fisher–Yates),
+// every accumulation runs in a fixed order, and each estimator is a pure
+// function of (series, matrix, budget, seed) — byte-identical across runs
+// and parallelism settings.
 //
 // The error metric is the relative error of the estimated mean CPI against
 // the full run's true mean CPI — the quantity an architect using sampled
@@ -26,12 +37,14 @@ import (
 // Technique identifies a sampling strategy.
 type Technique int
 
-// The techniques of §7.
+// The techniques of §7, plus the two-phase successor (Ekman, "CPU
+// Simulation Using Two-Phase Stratified Sampling").
 const (
 	Uniform Technique = iota
 	Random
 	PhaseBased
 	Stratified
+	TwoPhase
 )
 
 func (t Technique) String() string {
@@ -44,13 +57,17 @@ func (t Technique) String() string {
 		return "phase-based"
 	case Stratified:
 		return "stratified"
+	case TwoPhase:
+		return "two-phase"
 	default:
 		return fmt.Sprintf("Technique(%d)", int(t))
 	}
 }
 
 // Techniques lists all strategies in presentation order.
-func Techniques() []Technique { return []Technique{Uniform, Random, PhaseBased, Stratified} }
+func Techniques() []Technique {
+	return []Technique{Uniform, Random, PhaseBased, Stratified, TwoPhase}
+}
 
 // Estimate approximates the mean of cpis using n sampled intervals with
 // the given technique. mtx supplies the indexed EIPVs (kmeans.Matrix rows,
@@ -122,6 +139,24 @@ func Estimate(t Technique, cpis []float64, mtx *kmeans.Matrix, n int, seed uint6
 			return 0, 0, err
 		}
 		return stratifiedEstimate(res, cpis, n, seed)
+
+	case TwoPhase:
+		if mtx == nil || mtx.NumRows() != m {
+			return 0, 0, fmt.Errorf("sampling: two-phase needs an EIPV matrix with %d rows", m)
+		}
+		// Phase 1 clusters cheaply (EIPVs come from profiling, not from
+		// detailed simulation) into K = n/4 strata, so the two-sample
+		// pilot costs at most half the budget and the rest is left for
+		// variance-targeted refinement.
+		k := n / 4
+		if k < 1 {
+			k = 1
+		}
+		res, err := mtx.Cluster(k, seed, 40)
+		if err != nil {
+			return 0, 0, err
+		}
+		return twoPhaseEstimate(res, cpis, n, seed)
 
 	default:
 		return 0, 0, fmt.Errorf("sampling: unknown technique %d", int(t))
@@ -205,68 +240,254 @@ func representatives(res *kmeans.Result, mtx *kmeans.Matrix) []int {
 	return out
 }
 
-// stratifiedEstimate allocates the n-interval budget across clusters
-// proportionally to size x stddev (Neyman), sampling within each cluster
-// uniformly and weighting by cluster size.
-func stratifiedEstimate(res *kmeans.Result, cpis []float64, n int, seed uint64) (float64, int, error) {
-	m := len(cpis)
-	vars := kmeans.ClusterCPIVariance(res, cpis)
+// clusterMembers groups interval indices by cluster assignment, ascending
+// within each cluster.
+func clusterMembers(res *kmeans.Result) [][]int {
 	members := make([][]int, res.K)
 	for i, a := range res.Assign {
 		members[a] = append(members[a], i)
 	}
-	// Allocation weights.
+	return members
+}
+
+// drawWithoutReplacement advances a partial Fisher–Yates over mem:
+// mem[:drawn] holds the samples taken so far, mem[drawn:] the remaining
+// pool. It draws up to k more distinct members (mem is permuted in place)
+// and returns the new drawn count — never more than len(mem), so a
+// stratum can never be sampled past its population.
+func drawWithoutReplacement(rng *xrand.Rand, mem []int, drawn, k int) int {
+	for i := 0; i < k && drawn < len(mem); i++ {
+		j := drawn + rng.Intn(len(mem)-drawn)
+		mem[drawn], mem[j] = mem[j], mem[drawn]
+		drawn++
+	}
+	return drawn
+}
+
+// allocateProportional distributes extra samples across strata
+// proportionally to weights (largest-remainder rounding), never exceeding
+// any stratum's remaining capacity. Budget a saturated stratum cannot
+// absorb is redistributed over the strata that still have room, so the
+// whole budget is spent whenever capacity exists; if every stratum with
+// room has zero weight, the round falls back to weighting by free
+// capacity so a weightless allocation still spends the budget. All ties
+// break toward the lower stratum index (stable sort on the fractional
+// remainders), making the result a pure function of its arguments.
+func allocateProportional(extra int, weights []float64, capacity []int) []int {
+	alloc := make([]int, len(weights))
+	type rem struct {
+		c int
+		f float64
+	}
+	rems := make([]rem, 0, len(weights))
+	for extra > 0 {
+		total := 0.0
+		roomy := 0
+		for c := range capacity {
+			if capacity[c] > alloc[c] {
+				roomy++
+				total += weights[c]
+			}
+		}
+		if roomy == 0 {
+			break
+		}
+		w := func(c int) float64 {
+			if total > 0 {
+				return weights[c]
+			}
+			return float64(capacity[c] - alloc[c])
+		}
+		wTotal := total
+		if wTotal == 0 {
+			for c := range capacity {
+				if capacity[c] > alloc[c] {
+					wTotal += float64(capacity[c] - alloc[c])
+				}
+			}
+		}
+		given := 0
+		rems = rems[:0]
+		for c := range capacity {
+			room := capacity[c] - alloc[c]
+			if room <= 0 || w(c) == 0 {
+				continue
+			}
+			ideal := float64(extra) * w(c) / wTotal
+			g := int(ideal)
+			if g > room {
+				g = room
+			}
+			alloc[c] += g
+			given += g
+			if g < room {
+				rems = append(rems, rem{c, ideal - float64(g)})
+			}
+		}
+		extra -= given
+		sort.SliceStable(rems, func(i, j int) bool { return rems[i].f > rems[j].f })
+		for _, r := range rems {
+			if extra == 0 {
+				break
+			}
+			if capacity[r.c] > alloc[r.c] {
+				alloc[r.c]++
+				extra--
+			}
+		}
+	}
+	return alloc
+}
+
+// stratifiedEstimate allocates the n-interval budget across clusters
+// proportionally to size × stddev (Neyman), sampling within each cluster
+// uniformly without replacement and weighting each cluster's sample mean
+// by its size. The cluster variances come from kmeans.ClusterCPIVariance
+// over the full series — an oracle a real sampled simulation would not
+// have; twoPhaseEstimate is the honest variant that measures them from a
+// pilot.
+//
+// Two historical bugs are fixed here and locked by regression tests:
+// within-cluster draws used modular arithmetic over a single Intn and
+// could pick the same interval twice (overstating the distinct intervals
+// behind Eval.Simulated), and when every cluster's CPI variance was zero
+// the n−K remaining budget was silently dropped. Draws are now a partial
+// Fisher–Yates, and the allocation falls back to proportional-to-size
+// when the Neyman weights carry no signal.
+func stratifiedEstimate(res *kmeans.Result, cpis []float64, n int, seed uint64) (float64, int, error) {
+	m := len(cpis)
+	vars := kmeans.ClusterCPIVariance(res, cpis)
+	members := clusterMembers(res)
+	// Every non-empty cluster gets one guaranteed sample (ascending order
+	// until the budget runs out); the remainder follows the Neyman
+	// weights, bounded by each cluster's population.
+	alloc := make([]int, res.K)
+	capacity := make([]int, res.K)
+	used := 0
+	for c, mem := range members {
+		capacity[c] = len(mem)
+		if len(mem) > 0 && used < n {
+			alloc[c] = 1
+			capacity[c]--
+			used++
+		}
+	}
 	weights := make([]float64, res.K)
 	total := 0.0
 	for c := range weights {
 		weights[c] = float64(res.Sizes[c]) * math.Sqrt(vars[c])
 		total += weights[c]
 	}
-	alloc := make([]int, res.K)
-	used := 0
-	for c := range alloc {
-		alloc[c] = 1 // at least one per stratum
-		used++
-	}
-	if total > 0 {
-		extra := n - used
-		if extra < 0 {
-			extra = 0
-		}
-		type cw struct {
-			c int
-			w float64
-		}
-		order := make([]cw, res.K)
-		for c := range order {
-			order[c] = cw{c, weights[c]}
-		}
-		// Stable so equal-weight clusters keep ascending-index order —
-		// sort.Slice's internal randomization would otherwise make the
-		// allocation (and thus the estimate) vary run to run on ties.
-		sort.SliceStable(order, func(i, j int) bool { return order[i].w > order[j].w })
-		for i := 0; i < extra; i++ {
-			alloc[order[i%len(order)].c]++
+	if total == 0 {
+		// All cluster variances are zero: Neyman has no signal, but the
+		// caller's budget must still be spent — fall back to allocating
+		// the remainder proportionally to cluster size.
+		for c := range weights {
+			weights[c] = float64(res.Sizes[c])
 		}
 	}
+	extra := allocateProportional(n-used, weights, capacity)
 	rng := xrand.New(seed ^ 0x57a7)
 	est := 0.0
 	simulated := 0
 	for c, mem := range members {
-		if len(mem) == 0 {
+		k := alloc[c] + extra[c]
+		if k == 0 || len(mem) == 0 {
 			continue
 		}
-		k := alloc[c]
-		if k > len(mem) {
-			k = len(mem)
-		}
+		drawn := drawWithoutReplacement(rng, mem, 0, k)
 		sum := 0.0
-		for i := 0; i < k; i++ {
-			idx := mem[(rng.Intn(len(mem))+i)%len(mem)]
+		for _, idx := range mem[:drawn] {
 			sum += cpis[idx]
 		}
-		simulated += k
-		est += float64(res.Sizes[c]) / float64(m) * (sum / float64(k))
+		simulated += drawn
+		est += float64(res.Sizes[c]) / float64(m) * (sum / float64(drawn))
+	}
+	return est, simulated, nil
+}
+
+// twoPhaseEstimate is the Ekman two-phase estimator over pre-clustered
+// strata: a pilot of up to two samples per stratum measures each
+// stratum's CPI variance, then the remaining budget is Neyman-allocated
+// by those *observed* variances. Every CPI this estimator touches is one
+// of its own samples — unlike stratifiedEstimate it never reads the full
+// series, so its error column is an honest account of what the technique
+// achieves in practice.
+//
+// Pilot samples are not discarded: they were simulated, so they join the
+// phase-2 samples in each stratum's mean. All draws are without
+// replacement (one partial Fisher–Yates per stratum, continued across
+// the two phases); strata are visited in ascending order in both phases,
+// the allocation is a pure function of the pilot, and every accumulation
+// runs in a fixed order — the estimate is byte-identical across runs,
+// serial or parallel, for a fixed seed.
+func twoPhaseEstimate(res *kmeans.Result, cpis []float64, n int, seed uint64) (float64, int, error) {
+	m := len(cpis)
+	members := clusterMembers(res)
+	rng := xrand.New(seed ^ 0x2fa5e)
+	drawn := make([]int, res.K)
+	acc := make([]stats.Acc, res.K)
+	used := 0
+	// Phase 1: the pilot.
+	for c, mem := range members {
+		if len(mem) == 0 || used >= n {
+			continue
+		}
+		p := 2
+		if p > len(mem) {
+			p = len(mem)
+		}
+		if p > n-used {
+			p = n - used
+		}
+		drawn[c] = drawWithoutReplacement(rng, mem, 0, p)
+		for _, idx := range mem[:drawn[c]] {
+			acc[c].Add(cpis[idx])
+		}
+		used += drawn[c]
+	}
+	// Phase 2: Neyman allocation over the observed pilot variances.
+	weights := make([]float64, res.K)
+	capacity := make([]int, res.K)
+	total := 0.0
+	for c, mem := range members {
+		capacity[c] = len(mem) - drawn[c]
+		weights[c] = float64(res.Sizes[c]) * math.Sqrt(acc[c].SampleVar())
+		total += weights[c]
+	}
+	if total == 0 {
+		// The pilot observed no variance anywhere: fall back to
+		// proportional-to-size so the remaining budget is still spent.
+		for c := range weights {
+			weights[c] = float64(res.Sizes[c])
+		}
+	}
+	extra := allocateProportional(n-used, weights, capacity)
+	est := 0.0
+	weightSum := 0.0
+	simulated := 0
+	for c, mem := range members {
+		if extra[c] > 0 {
+			prev := drawn[c]
+			drawn[c] = drawWithoutReplacement(rng, mem, prev, extra[c])
+			for _, idx := range mem[prev:drawn[c]] {
+				acc[c].Add(cpis[idx])
+			}
+		}
+		if drawn[c] == 0 {
+			continue
+		}
+		simulated += drawn[c]
+		w := float64(res.Sizes[c]) / float64(m)
+		weightSum += w
+		est += w * acc[c].Mean()
+	}
+	// When the budget cannot even pilot every stratum (only possible with
+	// a hand-built Result: Estimate sizes K = n/4, so 2K <= n/2), the
+	// unsampled strata carry no information; renormalize over the strata
+	// actually observed instead of silently biasing the estimate low.
+	if weightSum > 0 {
+		est /= weightSum
 	}
 	return est, simulated, nil
 }
@@ -280,7 +501,9 @@ type Bound struct {
 	// Half is the half-width of the ~95% confidence interval for the mean
 	// (1.96 * s/sqrt(n), finite-population corrected).
 	Half float64
-	// Relative is Half / Estimate.
+	// Relative is Half / |Estimate| — the magnitude of the estimate, so a
+	// negative-mean series still reports a non-negative relative
+	// half-width. Zero when the estimate itself is zero.
 	Relative float64
 	N        int
 }
@@ -321,7 +544,7 @@ func EstimateWithBound(cpis []float64, n int, seed uint64) (Bound, error) {
 	}
 	b := Bound{Estimate: est, Half: 1.96 * se, N: n}
 	if est != 0 {
-		b.Relative = b.Half / est
+		b.Relative = b.Half / math.Abs(est)
 	}
 	return b, nil
 }
@@ -366,8 +589,10 @@ type Eval struct {
 	Technique Technique
 	Estimate  float64
 	TrueMean  float64
-	// RelErr is |estimate - truth| / truth. When the true mean is zero the
-	// ratio is undefined and RelErr is NaN (check with math.IsNaN, or use
+	// RelErr is |estimate - truth| / |truth| — the denominator is the
+	// truth's magnitude, so a negative-mean series cannot yield a
+	// negative "relative error". When the true mean is zero the ratio is
+	// undefined and RelErr is NaN (check with math.IsNaN, or use
 	// Defined); it is never silently reported as a perfect 0.
 	RelErr float64
 	// Simulated is the number of intervals the technique would simulate.
@@ -391,7 +616,7 @@ func Evaluate(cpis []float64, mtx *kmeans.Matrix, budget int, seed uint64) ([]Ev
 		}
 		rel := math.NaN() // undefined against a zero truth
 		if truth != 0 {
-			rel = math.Abs(est-truth) / truth
+			rel = math.Abs(est-truth) / math.Abs(truth)
 		}
 		out = append(out, Eval{Technique: tech, Estimate: est, TrueMean: truth, RelErr: rel, Simulated: sim})
 	}

@@ -161,14 +161,184 @@ func TestErrors(t *testing.T) {
 }
 
 func TestTechniqueStrings(t *testing.T) {
-	want := map[Technique]string{Uniform: "uniform", Random: "random", PhaseBased: "phase-based", Stratified: "stratified"}
+	want := map[Technique]string{Uniform: "uniform", Random: "random", PhaseBased: "phase-based", Stratified: "stratified", TwoPhase: "two-phase"}
 	for tech, s := range want {
 		if tech.String() != s {
 			t.Errorf("%d.String() = %q", int(tech), tech.String())
 		}
 	}
-	if len(Techniques()) != 4 {
+	if len(Techniques()) != len(want) {
 		t.Fatal("Techniques() incomplete")
+	}
+}
+
+// TestDrawWithoutReplacementDistinct: the partial Fisher–Yates behind
+// the stratified estimators draws distinct members only, never more than
+// the population, and continues correctly across two passes (the
+// two-phase pilot → phase-2 pattern). Regression test for the old
+// modular-arithmetic draw that could pick the same interval twice.
+func TestDrawWithoutReplacementDistinct(t *testing.T) {
+	for seed := uint64(0); seed < 50; seed++ {
+		rng := xrand.New(seed)
+		size := 1 + rng.Intn(20)
+		mem := make([]int, size)
+		for i := range mem {
+			mem[i] = 100 + i
+		}
+		first := rng.Intn(size + 2)
+		drawn := drawWithoutReplacement(rng, mem, 0, first)
+		drawn = drawWithoutReplacement(rng, mem, drawn, rng.Intn(size+2))
+		if drawn > size {
+			t.Fatalf("seed %d: drew %d from a population of %d", seed, drawn, size)
+		}
+		seen := map[int]bool{}
+		for _, idx := range mem[:drawn] {
+			if seen[idx] {
+				t.Fatalf("seed %d: index %d drawn twice", seed, idx)
+			}
+			seen[idx] = true
+		}
+	}
+}
+
+// TestStratifiedSamplesDistinctIntervals: with budget == population, the
+// stratified estimate must equal the true mean exactly — every interval
+// sampled once, none twice. Under the old with-replacement draw, most
+// seeds duplicated some interval and missed the census mean, overstating
+// Eval.Simulated's claim of distinct simulated intervals.
+func TestStratifiedSamplesDistinctIntervals(t *testing.T) {
+	cpis, vectors := phased(80)
+	truth := 0.0
+	for _, c := range cpis {
+		truth += c
+	}
+	truth /= float64(len(cpis))
+	mtx := kmeans.IndexVectors(vectors)
+	for seed := uint64(0); seed < 20; seed++ {
+		for _, tech := range []Technique{Stratified, TwoPhase} {
+			est, sim, err := Estimate(tech, cpis, mtx, len(cpis), seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sim != len(cpis) {
+				t.Fatalf("%s seed %d: simulated %d of %d intervals at full budget", tech, seed, sim, len(cpis))
+			}
+			if math.Abs(est-truth) > 1e-9 {
+				t.Fatalf("%s seed %d: census estimate %v != true mean %v (a duplicate draw?)", tech, seed, est, truth)
+			}
+		}
+	}
+}
+
+// TestStratifiedSpendsFullBudgetOnZeroVariance: when every cluster's CPI
+// variance is zero the Neyman weights vanish; the allocation must fall
+// back to proportional-to-size rather than silently dropping the n−K
+// remaining budget. Regression test for the total==0 early-out.
+func TestStratifiedSpendsFullBudgetOnZeroVariance(t *testing.T) {
+	m := 100
+	cpis := make([]float64, m)
+	vectors := make([]kmeans.Vector, m)
+	for i := range cpis {
+		cpis[i] = 2.0 // constant CPI: all cluster variances are exactly 0
+		if i%2 == 0 {
+			vectors[i] = kmeans.Vector{1: 90}
+		} else {
+			vectors[i] = kmeans.Vector{7: 90}
+		}
+	}
+	mtx := kmeans.IndexVectors(vectors)
+	const budget = 12
+	for _, tech := range []Technique{Stratified, TwoPhase} {
+		est, sim, err := Estimate(tech, cpis, mtx, budget, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sim != budget {
+			t.Fatalf("%s: simulated %d intervals of a %d budget on a zero-variance series", tech, sim, budget)
+		}
+		if math.Abs(est-2.0) > 1e-12 {
+			t.Fatalf("%s: estimate %v on a constant series", tech, est)
+		}
+	}
+}
+
+// TestNegativeSeriesRelativeMetrics: relative metrics divide by
+// magnitudes, so a negative-mean series yields non-negative relative
+// errors and bounds. Regression test for the signed denominators in
+// Evaluate (RelErr = |est−truth|/truth) and EstimateWithBound
+// (Relative = Half/est).
+func TestNegativeSeriesRelativeMetrics(t *testing.T) {
+	rng := xrand.New(17)
+	m := 120
+	cpis := make([]float64, m)
+	vectors := make([]kmeans.Vector, m)
+	for i := range cpis {
+		cpis[i] = -2 + rng.Norm(0, 0.1)
+		if i%3 == 0 {
+			vectors[i] = kmeans.Vector{1: 50, 2: 50}
+		} else {
+			vectors[i] = kmeans.Vector{5: 100}
+		}
+	}
+	evals, err := Evaluate(cpis, kmeans.IndexVectors(vectors), 8, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range evals {
+		if !e.Defined() {
+			t.Fatalf("%s: RelErr undefined on nonzero (negative) truth", e.Technique)
+		}
+		if e.RelErr < 0 {
+			t.Fatalf("%s: negative relative error %v on negative-mean series", e.Technique, e.RelErr)
+		}
+		if e.RelErr > 0.5 {
+			t.Fatalf("%s: implausible relative error %v", e.Technique, e.RelErr)
+		}
+	}
+	b, err := EstimateWithBound(cpis, 20, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Relative < 0 {
+		t.Fatalf("negative relative bound %v on negative-mean series", b.Relative)
+	}
+	if b.Half <= 0 {
+		t.Fatalf("half-width %v", b.Half)
+	}
+}
+
+// TestEstimatePropertiesAllTechniques: for every technique under random
+// budgets and seeds — the estimate is finite, the simulated count is
+// positive and never exceeds the (population-clamped) budget, and two
+// identical calls return bit-identical results.
+func TestEstimatePropertiesAllTechniques(t *testing.T) {
+	for trial := uint64(0); trial < 15; trial++ {
+		rng := xrand.New(trial ^ 0xabcde)
+		vectors, cpis := randomVectors(rng, 20+rng.Intn(150), 2+rng.Intn(20), 1+rng.Intn(40))
+		mtx := kmeans.IndexVectors(vectors)
+		budget := 1 + rng.Intn(2*len(cpis))
+		seed := rng.Uint64()
+		clamped := budget
+		if clamped > len(cpis) {
+			clamped = len(cpis)
+		}
+		for _, tech := range Techniques() {
+			est, sim, err := Estimate(tech, cpis, mtx, budget, seed)
+			if err != nil {
+				t.Fatalf("%s trial %d: %v", tech, trial, err)
+			}
+			if math.IsNaN(est) || math.IsInf(est, 0) {
+				t.Fatalf("%s trial %d: estimate %v not finite", tech, trial, est)
+			}
+			if sim < 1 || sim > clamped {
+				t.Fatalf("%s trial %d: simulated %d outside [1, %d]", tech, trial, sim, clamped)
+			}
+			est2, sim2, err := Estimate(tech, cpis, mtx, budget, seed)
+			if err != nil || est2 != est || sim2 != sim {
+				t.Fatalf("%s trial %d: nondeterministic (%v,%d) vs (%v,%d), err %v",
+					tech, trial, est, sim, est2, sim2, err)
+			}
+		}
 	}
 }
 
